@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id figure4 [-seed 1] [-reps 5]
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relm/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every registered experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		reps  = flag.Int("reps", 0, "repetitions (0 = per-experiment default)")
+		quick = flag.Bool("quick", false, "reduced budgets for a fast pass")
+		chart = flag.Bool("chart", false, "also render ASCII charts where available")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Quick: *quick}
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-20s %s\n", id, experiments.Describe(id))
+		}
+	case *all:
+		for _, id := range experiments.IDs() {
+			run(id, cfg, *chart)
+		}
+	case *id != "":
+		run(*id, cfg, *chart)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// charter is implemented by results that can render an ASCII figure.
+type charter interface{ Chart() string }
+
+func run(id string, cfg experiments.Config, chart bool) {
+	res, err := experiments.Run(id, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	if c, ok := res.(charter); ok && chart {
+		fmt.Println(c.Chart())
+	}
+}

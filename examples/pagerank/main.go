@@ -1,0 +1,60 @@
+// PageRank walk-through: reproduces the paper's §3.5 manual-tuning study and
+// the §4.3 Arbitrator working example on the application that fails under
+// the default setup.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relm"
+)
+
+func main() {
+	cl := relm.ClusterA()
+	wl, err := relm.WorkloadByName("PageRank")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// §3.5: the four manual configurations of Table 5.
+	fmt.Println("manual tuning (Table 5):")
+	manual := []relm.Config{
+		relm.DefaultConfig(), // row 1: unreliable defaults
+		{ContainersPerNode: 1, TaskConcurrency: 1, CacheCapacity: 0.6, NewRatio: 2, SurvivorRatio: 8},
+		{ContainersPerNode: 1, TaskConcurrency: 2, CacheCapacity: 0.4, NewRatio: 2, SurvivorRatio: 8},
+		{ContainersPerNode: 1, TaskConcurrency: 2, CacheCapacity: 0.6, NewRatio: 5, SurvivorRatio: 8},
+	}
+	for i, cfg := range manual {
+		res, _ := relm.Simulate(cl, wl, cfg, uint64(10+i))
+		note := ""
+		if res.Aborted {
+			note = " (aborted)"
+		}
+		fmt.Printf("  %v → %.0f min%s, %d failures, hit %.2f, GC %.2f\n",
+			cfg, res.RuntimeMin(), note, res.ContainerFailures, res.CacheHitRatio, res.GCOverhead)
+	}
+
+	// §4: RelM does the same repair automatically from one profile.
+	ev := relm.NewEvaluator(cl, wl, 1)
+	tuner := relm.NewRelM(cl)
+	rec, cands, err := tuner.TuneWorkload(ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nArbitrator trace for the recommended container size (Figure 13):")
+	for _, c := range cands {
+		if c.Config != rec {
+			continue
+		}
+		for i, s := range c.Trace {
+			fmt.Printf("  (%d) %-7s p=%d mc=%.1fGB NR=%d mo=%.1fGB\n",
+				i+1, s.Action, s.Pools.P, s.Pools.McMB/1024, s.Pools.NewRatio, s.Pools.MoMB/1024)
+		}
+	}
+	res, _ := relm.Simulate(cl, wl, rec, 99)
+	fmt.Printf("\nRelM recommendation %v\n→ %.0f min, aborted=%v, %d failures\n",
+		rec, res.RuntimeMin(), res.Aborted, res.ContainerFailures)
+}

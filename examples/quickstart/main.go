@@ -1,0 +1,52 @@
+// Quickstart: simulate a workload on its default configuration, derive the
+// Table 6 statistics from the profile, let RelM recommend a memory
+// configuration, and compare the two.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relm"
+)
+
+func main() {
+	cl := relm.ClusterA()
+	wl, err := relm.WorkloadByName("K-means")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Run the application once on the MaxResourceAllocation defaults and
+	//    collect its profile.
+	defCfg := relm.DefaultConfig()
+	defRes, prof := relm.Simulate(cl, wl, defCfg, 1)
+	fmt.Printf("default  %v\n         → %.1f min (GC %.0f%%, cache hit %.0f%%)\n",
+		defCfg, defRes.RuntimeMin(), 100*defRes.GCOverhead, 100*defRes.CacheHitRatio)
+
+	// 2. Derive the Table 6 statistics the tuner works from.
+	st := relm.GenerateStats(prof)
+	fmt.Println("profile:", st)
+
+	// 3. RelM: analytical recommendation from this single profile.
+	tuner := relm.NewRelM(cl)
+	rec, cands, err := tuner.Recommend(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncandidates (one per container size, ranked by memory utility):")
+	for _, c := range cands {
+		state := "ok"
+		if !c.Feasible {
+			state = "infeasible"
+		}
+		fmt.Printf("  n=%d  U=%.3f  %-10s %v\n", c.Containers, c.Utility, state, c.Config)
+	}
+
+	// 4. Verify the recommendation.
+	recRes, _ := relm.Simulate(cl, wl, rec, 2)
+	fmt.Printf("\nRelM     %v\n         → %.1f min (%.0f%% of default, %d container failures)\n",
+		rec, recRes.RuntimeMin(), 100*recRes.RuntimeSec/defRes.RuntimeSec, recRes.ContainerFailures)
+}

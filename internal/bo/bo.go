@@ -1,0 +1,317 @@
+// Package bo implements Bayesian Optimization over the memory-configuration
+// space (§5.1): a Gaussian-Process surrogate, the Expected Improvement
+// acquisition function (Equation 7) maximized by random sampling plus
+// coordinate hill-climbing, Latin-Hypercube bootstrap (Table 7), and the
+// CherryPick stopping rule (EI below 10% of the incumbent and at least six
+// new samples).
+//
+// The Extra hook injects additional surrogate features and the Penalty hook
+// shapes the acquisition; package gbo uses them to plug in the white-box
+// model Q (Equation 8), turning BO into GBO.
+package bo
+
+import (
+	"math"
+
+	"relm/internal/conf"
+	"relm/internal/gp"
+	"relm/internal/simrand"
+	"relm/internal/tune"
+)
+
+// Options tunes the optimizer. Zero values select the paper's settings.
+type Options struct {
+	// InitSamples is the LHS bootstrap size (default 4 — the space's
+	// dimensionality, as in §6.1).
+	InitSamples int
+	// MinNewSamples must be observed after bootstrap before the EI stopping
+	// rule may fire (default 6, from CherryPick).
+	MinNewSamples int
+	// EIFraction stops the search when the maximum expected improvement
+	// drops below this fraction of the incumbent objective (default 0.10).
+	EIFraction float64
+	// MaxIterations caps the adaptive samples (default 25).
+	MaxIterations int
+	// Kernel selects the surrogate kernel: "rbf" (default) or "matern52".
+	Kernel string
+	// Fit overrides the surrogate entirely (e.g. a Random Forest); when nil
+	// a grid-tuned Gaussian Process with the configured kernel is used.
+	Fit SurrogateFit
+	// UsePaperLHS bootstraps with the exact Table 7 samples instead of a
+	// seeded random Latin hypercube.
+	UsePaperLHS bool
+	// Prior warm-starts the surrogate with observations from a previous
+	// session (OtterTune-style model re-use, §6.6). Prior points join every
+	// surrogate fit but cost no experiments and never become the incumbent.
+	Prior []PriorPoint
+	// Seed drives the acquisition sampling.
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.InitSamples == 0 {
+		o.InitSamples = 4
+	}
+	if o.MinNewSamples == 0 {
+		o.MinNewSamples = 6
+	}
+	if o.EIFraction == 0 {
+		o.EIFraction = 0.10
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 25
+	}
+	if o.Kernel == "" {
+		o.Kernel = "rbf"
+	}
+}
+
+// Extra computes additional surrogate features for a candidate point.
+// x is the normalized configuration; cfg its decoded form. It is consulted
+// at surrogate-fit time, so implementations may evolve as profiles arrive
+// (GBO builds its guide model from the first bootstrap sample's profile).
+type Extra func(x []float64, cfg conf.Config) []float64
+
+// Penalty scales the acquisition value of a candidate (1 = neutral); GBO
+// uses it to de-prioritize regions its white-box model marks unsafe or
+// wasteful.
+type Penalty func(x []float64, cfg conf.Config) float64
+
+// Surrogate is the response-surface model interface: the Gaussian Process by
+// default, or a Random Forest for the Figure 26 ablation.
+type Surrogate interface {
+	Predict(x []float64) (mean, variance float64)
+}
+
+// SurrogateFit trains a surrogate on the observations collected so far.
+type SurrogateFit func(xs [][]float64, ys []float64) (Surrogate, error)
+
+// Result reports one optimization run.
+type Result struct {
+	Best       tune.Sample
+	Found      bool
+	Iterations int       // adaptive samples taken after bootstrap
+	Curve      []float64 // best objective so far, one entry per evaluation
+	FinalModel Surrogate
+}
+
+// Run optimizes the evaluator's workload. Each Eval is one stress-test
+// experiment on the (simulated) cluster. extra and penalty may be nil.
+func Run(ev *tune.Evaluator, opts Options, extra Extra, penalty ...Penalty) Result {
+	opts.fill()
+	rng := simrand.New(opts.Seed ^ 0x9e3779b97f4a7c15)
+	sp := ev.Space
+
+	var pen Penalty
+	if len(penalty) > 0 {
+		pen = penalty[0]
+	}
+
+	features := func(x []float64, cfg conf.Config) []float64 {
+		if extra == nil {
+			return x
+		}
+		return append(append([]float64(nil), x...), extra(x, cfg)...)
+	}
+
+	var res Result
+	seen := map[conf.Config]bool{}
+	var rawXs [][]float64
+	var cfgs []conf.Config
+	var ys []float64
+
+	observe := func(cfg conf.Config) tune.Sample {
+		s := ev.Eval(cfg)
+		seen[cfg] = true
+		rawXs = append(rawXs, s.X)
+		cfgs = append(cfgs, cfg)
+		ys = append(ys, s.Objective)
+		if !s.Result.Aborted && (!res.Found || s.Objective < res.Best.Objective) {
+			res.Best, res.Found = s, true
+		}
+		cur := math.Inf(1)
+		if res.Found {
+			cur = res.Best.Objective
+		}
+		res.Curve = append(res.Curve, cur)
+		return s
+	}
+
+	// --- Bootstrap. ---
+	if opts.UsePaperLHS {
+		for _, cfg := range tune.PaperLHS(sp) {
+			observe(cfg)
+		}
+	} else {
+		for _, x := range tune.LatinHypercube(rng, opts.InitSamples, sp.Dim()) {
+			observe(sp.Decode(x))
+		}
+	}
+
+	fit := opts.Fit
+	if fit == nil {
+		kernel := opts.Kernel
+		baseDims := sp.Dim()
+		fit = func(xs [][]float64, ys []float64) (Surrogate, error) {
+			return gp.FitBestGrouped(kernel, xs, ys, baseDims)
+		}
+	}
+
+	// Prior observations (model re-use) mark their configurations as seen so
+	// the acquisition proposes genuinely new points.
+	for _, p := range opts.Prior {
+		seen[p.Cfg] = true
+	}
+
+	// --- Adaptive sampling. ---
+	newSamples := 0
+	for newSamples < opts.MaxIterations {
+		// Feature vectors are rebuilt each round so an Extra that matured
+		// after the first profile applies to the bootstrap samples too.
+		feats := make([][]float64, 0, len(opts.Prior)+len(rawXs))
+		fitYs := make([]float64, 0, len(opts.Prior)+len(ys))
+		for _, p := range opts.Prior {
+			feats = append(feats, features(p.X, p.Cfg))
+			fitYs = append(fitYs, p.Y)
+		}
+		for i := range rawXs {
+			feats = append(feats, features(rawXs[i], cfgs[i]))
+			fitYs = append(fitYs, ys[i])
+		}
+		model, err := fit(feats, fitYs)
+		if err != nil {
+			break
+		}
+		res.FinalModel = model
+
+		// The incumbent for the EI criterion includes (rescaled) prior
+		// observations: with a trusted warm start, marginal improvements
+		// over what the prior already located are not worth new experiments.
+		tau := bestObjective(ys)
+		for _, p := range opts.Prior {
+			if p.Y < tau {
+				tau = p.Y
+			}
+		}
+		x, ei := maximizeEI(model, sp, features, pen, tau, rng, seen)
+		if x == nil {
+			break
+		}
+		// Stopping rule: enough new samples and the expected improvement is
+		// marginal relative to the incumbent.
+		if newSamples >= opts.MinNewSamples && ei < opts.EIFraction*tau {
+			break
+		}
+		observe(sp.Decode(x))
+		newSamples++
+	}
+	res.Iterations = newSamples
+	if !res.Found {
+		if best, ok := ev.Best(); ok {
+			res.Best, res.Found = best, true
+		}
+	}
+	return res
+}
+
+func bestObjective(ys []float64) float64 {
+	best := math.Inf(1)
+	for _, y := range ys {
+		if y < best {
+			best = y
+		}
+	}
+	return best
+}
+
+// ExpectedImprovement is Equation 7 for minimization: the expected amount by
+// which a sample at (mean, variance) improves on the incumbent tau.
+func ExpectedImprovement(mean, variance, tau float64) float64 {
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		if mean < tau {
+			return tau - mean
+		}
+		return 0
+	}
+	z := (tau - mean) / sd
+	return (tau-mean)*normCDF(z) + sd*normPDF(z)
+}
+
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+func normPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
+
+// maximizeEI runs random search plus coordinate hill-climbing over the
+// normalized space, skipping already-observed configurations.
+func maximizeEI(model Surrogate, sp tune.Space, features func([]float64, conf.Config) []float64,
+	pen Penalty, tau float64, rng *simrand.Rand, seen map[conf.Config]bool) ([]float64, float64) {
+
+	eiAt := func(x []float64) float64 {
+		cfg := sp.Decode(x)
+		mean, variance := model.Predict(features(x, cfg))
+		ei := ExpectedImprovement(mean, variance, tau)
+		if pen != nil {
+			ei *= pen(x, cfg)
+		}
+		return ei
+	}
+
+	var bestX []float64
+	bestEI := -1.0
+	consider := func(x []float64) {
+		cfg := sp.Decode(x)
+		if seen[cfg] {
+			return
+		}
+		if ei := eiAt(x); ei > bestEI {
+			bestEI = ei
+			bestX = append([]float64(nil), x...)
+		}
+	}
+
+	// Random sampling.
+	for i := 0; i < 256; i++ {
+		x := make([]float64, sp.Dim())
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		consider(x)
+	}
+	if bestX == nil {
+		return nil, 0
+	}
+
+	// Coordinate hill-climb from the incumbent acquisition point.
+	step := 0.25
+	for step > 0.02 {
+		improved := false
+		for d := 0; d < sp.Dim(); d++ {
+			for _, dir := range []float64{-1, 1} {
+				x := append([]float64(nil), bestX...)
+				x[d] = clamp01(x[d] + dir*step)
+				cfg := sp.Decode(x)
+				if seen[cfg] {
+					continue
+				}
+				if ei := eiAt(x); ei > bestEI {
+					bestEI, bestX = ei, x
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return bestX, bestEI
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

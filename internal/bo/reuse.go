@@ -1,0 +1,171 @@
+package bo
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"relm/internal/conf"
+	"relm/internal/profile"
+	"relm/internal/tune"
+)
+
+// PriorPoint is one observation carried over from a previous tuning session;
+// it participates in the surrogate fit but costs no new experiment.
+type PriorPoint struct {
+	X   []float64
+	Cfg conf.Config
+	Y   float64
+}
+
+// RepoEntry is a persisted tuning session: the workload's fingerprint (the
+// Table 6 statistics measured on the default configuration) plus the
+// observations the optimizer collected. As the paper notes (Table 10), a BO
+// "model" is its training data, so this is the entire saved state.
+type RepoEntry struct {
+	Workload    string
+	ClusterName string
+	Fingerprint profile.Stats
+	// DefaultSec is the default-configuration runtime, used to rescale
+	// observations between workloads of different magnitudes.
+	DefaultSec float64
+	Points     []PriorPoint
+}
+
+// Repository implements the OtterTune-style model re-use of §6.6: workloads
+// are matched by the distance between their performance fingerprints, and a
+// matched workload's observations warm-start the optimizer. The paper notes
+// (and this implementation inherits) that saved regression models cannot be
+// adapted across hardware changes — Match refuses entries from a different
+// cluster.
+type Repository struct {
+	Entries []RepoEntry
+}
+
+// Add stores a completed tuning session.
+func (r *Repository) Add(workload, clusterName string, fp profile.Stats, defaultSec float64, history []tune.Sample) {
+	e := RepoEntry{
+		Workload:    workload,
+		ClusterName: clusterName,
+		Fingerprint: fp,
+		DefaultSec:  defaultSec,
+	}
+	for _, s := range history {
+		e.Points = append(e.Points, PriorPoint{
+			X:   append([]float64(nil), s.X...),
+			Cfg: s.Config,
+			Y:   s.Objective,
+		})
+	}
+	r.Entries = append(r.Entries, e)
+}
+
+// FingerprintDistance is the Euclidean distance between two Table 6
+// fingerprints over the scale-free statistics (utilizations, pool fractions
+// of heap, hit and spill ratios). Re-profiles of one workload land within
+// ~0.05 of each other; different workload classes differ by 0.5 or more
+// (a cache-heavy app and a shuffle-only app disagree on whole dimensions).
+func FingerprintDistance(a, b profile.Stats) float64 {
+	av, bv := fingerprintVector(a), fingerprintVector(b)
+	var s float64
+	for i := range av {
+		d := av[i] - bv[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func fingerprintVector(st profile.Stats) []float64 {
+	mh := st.MhMB
+	if mh <= 0 {
+		mh = 1
+	}
+	return []float64{
+		st.CPUAvg,
+		st.DiskAvg,
+		st.MiMB / mh,
+		st.McMB / mh,
+		st.MsMB / mh,
+		st.MuMB / mh,
+		st.H,
+		st.S,
+	}
+}
+
+// Match returns the closest same-cluster entry and its distance; ok is false
+// when the repository holds no candidate within maxDistance.
+func (r *Repository) Match(clusterName string, fp profile.Stats, maxDistance float64) (*RepoEntry, float64, bool) {
+	var best *RepoEntry
+	bestD := math.Inf(1)
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if e.ClusterName != clusterName {
+			continue // saved models do not transfer across hardware (§6.6)
+		}
+		if d := FingerprintDistance(e.Fingerprint, fp); d < bestD {
+			best, bestD = e, d
+		}
+	}
+	if best == nil || bestD > maxDistance {
+		return nil, bestD, false
+	}
+	return best, bestD, true
+}
+
+// Save serializes the repository.
+func (r *Repository) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(r)
+}
+
+// LoadRepository reads a repository written by Save.
+func LoadRepository(rd io.Reader) (*Repository, error) {
+	var r Repository
+	if err := gob.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bo: load repository: %w", err)
+	}
+	return &r, nil
+}
+
+// RunWithReuse profiles the workload once on the default configuration,
+// matches it against the repository, and — on a hit — warm-starts the
+// optimizer with the matched session's observations rescaled by the ratio
+// of default runtimes. On a miss it falls back to a cold-start Run. The
+// completed session is added to the repository either way.
+func RunWithReuse(ev *tune.Evaluator, opts Options, repo *Repository, maxDistance float64) (Result, bool) {
+	def := ev.Space.Default()
+	s := ev.Eval(def)
+	fp := profile.Generate(s.Profile)
+
+	reused := false
+	if entry, _, ok := repo.Match(ev.Cluster.Name, fp, maxDistance); ok {
+		scale := 1.0
+		if entry.DefaultSec > 0 {
+			scale = s.RuntimeSec / entry.DefaultSec
+		}
+		prior := make([]PriorPoint, 0, len(entry.Points))
+		for _, p := range entry.Points {
+			prior = append(prior, PriorPoint{X: p.X, Cfg: p.Cfg, Y: p.Y * scale})
+		}
+		opts.Prior = prior
+		// The warm start replaces most of the bootstrap, and a trusted prior
+		// shortens the adaptive phase: the session only needs to confirm and
+		// locally refine the matched model's optimum.
+		opts.InitSamples = 1
+		opts.UsePaperLHS = false
+		if opts.MaxIterations == 0 || opts.MaxIterations > 6 {
+			opts.MaxIterations = 6
+		}
+		if opts.MinNewSamples == 0 || opts.MinNewSamples > 3 {
+			opts.MinNewSamples = 3
+		}
+		reused = true
+	}
+
+	res := Run(ev, opts, nil)
+	if !s.Result.Aborted && (!res.Found || s.Objective < res.Best.Objective) {
+		res.Best, res.Found = s, true
+	}
+	repo.Add(ev.Workload.Name, ev.Cluster.Name, fp, s.RuntimeSec, ev.History())
+	return res, reused
+}

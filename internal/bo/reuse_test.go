@@ -1,0 +1,140 @@
+package bo
+
+import (
+	"bytes"
+	"testing"
+
+	"relm/internal/profile"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/tune"
+)
+
+func fingerprint(t *testing.T, wlName string, seed uint64) (profile.Stats, *tune.Evaluator) {
+	t.Helper()
+	wl, ok := workload.ByName(wlName)
+	if !ok {
+		t.Fatalf("workload %s", wlName)
+	}
+	ev := tune.NewEvaluator(cluster.A(), wl, seed)
+	s := ev.Eval(ev.Space.Default())
+	return profile.Generate(s.Profile), ev
+}
+
+func TestFingerprintDistanceProperties(t *testing.T) {
+	svm, _ := fingerprint(t, "SVM", 1)
+	svm2, _ := fingerprint(t, "SVM", 2)
+	wc, _ := fingerprint(t, "WordCount", 3)
+
+	if d := FingerprintDistance(svm, svm); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	same := FingerprintDistance(svm, svm2)
+	diff := FingerprintDistance(svm, wc)
+	if same >= diff {
+		t.Fatalf("same workload must be closer than a different one: %v vs %v", same, diff)
+	}
+}
+
+func TestRepositoryMatch(t *testing.T) {
+	repo := &Repository{}
+	svm, evSVM := fingerprint(t, "SVM", 1)
+	km, _ := fingerprint(t, "K-means", 2)
+	repo.Add("SVM", "A", svm, 500, evSVM.History())
+	repo.Add("K-means", "A", km, 1100, nil)
+
+	probe, _ := fingerprint(t, "SVM", 9)
+	entry, d, ok := repo.Match("A", probe, 0.5)
+	if !ok || entry.Workload != "SVM" {
+		t.Fatalf("match = %v (d=%v)", entry, d)
+	}
+	// Hardware changes invalidate saved models (§6.6).
+	if _, _, ok := repo.Match("B", probe, 0.5); ok {
+		t.Fatal("cross-cluster match must be refused")
+	}
+	// An impossible distance bound yields no match.
+	if _, _, ok := repo.Match("A", probe, 1e-9); ok {
+		t.Fatal("tight bound should refuse")
+	}
+}
+
+func TestRepositorySaveLoad(t *testing.T) {
+	repo := &Repository{}
+	svm, ev := fingerprint(t, "SVM", 4)
+	repo.Add("SVM", "A", svm, 480, ev.History())
+
+	var buf bytes.Buffer
+	if err := repo.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != 1 || loaded.Entries[0].Workload != "SVM" {
+		t.Fatalf("loaded %+v", loaded.Entries)
+	}
+	if len(loaded.Entries[0].Points) != len(ev.History()) {
+		t.Fatal("points lost in round trip")
+	}
+}
+
+func TestLoadRepositoryRejectsGarbage(t *testing.T) {
+	if _, err := LoadRepository(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunWithReuseWarmStart(t *testing.T) {
+	wl, _ := workload.ByName("SVM")
+	repo := &Repository{}
+
+	// Session 1: cold start fills the repository.
+	ev1 := tune.NewEvaluator(cluster.A(), wl, 10)
+	res1, reused1 := RunWithReuse(ev1, Options{Seed: 10, MaxIterations: 6, MinNewSamples: 2}, repo, 0.3)
+	if reused1 {
+		t.Fatal("first session cannot re-use")
+	}
+	if !res1.Found || len(repo.Entries) != 1 {
+		t.Fatal("session not recorded")
+	}
+	coldEvals := ev1.Evals()
+
+	// Session 2: the same workload matches and warm-starts.
+	ev2 := tune.NewEvaluator(cluster.A(), wl, 11)
+	res2, reused2 := RunWithReuse(ev2, Options{Seed: 11, MaxIterations: 6, MinNewSamples: 2}, repo, 0.3)
+	if !reused2 {
+		t.Fatal("second session should re-use the model")
+	}
+	if !res2.Found {
+		t.Fatal("warm-started session found nothing")
+	}
+	// Warm start replaces the 4-sample bootstrap with a single probe, so the
+	// second session must use fewer experiments than the first's bootstrap
+	// would imply.
+	if ev2.Evals() > coldEvals {
+		t.Fatalf("warm session used %d evals vs cold %d", ev2.Evals(), coldEvals)
+	}
+	if len(repo.Entries) != 2 {
+		t.Fatal("second session not recorded")
+	}
+}
+
+func TestPriorPointsNeverBecomeIncumbent(t *testing.T) {
+	wl, _ := workload.ByName("WordCount")
+	ev := tune.NewEvaluator(cluster.A(), wl, 12)
+	// A fake prior claiming an absurdly good objective must not be returned
+	// as the best sample.
+	prior := []PriorPoint{{
+		X:   []float64{0.5, 0.5, 0.5, 0.5},
+		Cfg: ev.Space.Decode([]float64{0.5, 0.5, 0.5, 0.5}),
+		Y:   0.001,
+	}}
+	res := Run(ev, Options{Seed: 12, MaxIterations: 2, MinNewSamples: 1, Prior: prior}, nil)
+	if !res.Found {
+		t.Fatal("no best")
+	}
+	if res.Best.Objective <= 0.01 {
+		t.Fatal("a prior point leaked into the incumbent")
+	}
+}

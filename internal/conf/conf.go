@@ -1,0 +1,94 @@
+// Package conf defines the memory-management configuration knobs tuned
+// throughout the repository — the parameters of Table 1 in the paper:
+//
+//	Containers per Node  → how node memory is carved into containers
+//	Task Concurrency     → execution slots per container
+//	Cache Capacity       → cache storage as a fraction of heap
+//	Shuffle Capacity     → shuffle memory as a fraction of heap
+//	NewRatio             → Old:Young capacity ratio of the JVM heap
+//	SurvivorRatio        → Eden:Survivor capacity ratio
+//
+// Heap Size is derived (node heap budget divided equally among containers),
+// mirroring the paper's homogeneous-container enumeration.
+package conf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config is one point in the memory-configuration space.
+type Config struct {
+	// ContainersPerNode is the number of homogeneous containers carved out
+	// of one worker node (1..4 in the paper's evaluation).
+	ContainersPerNode int
+	// TaskConcurrency is the number of tasks running concurrently in one
+	// container (execution slots).
+	TaskConcurrency int
+	// CacheCapacity is the fraction of heap reserved for cache storage.
+	CacheCapacity float64
+	// ShuffleCapacity is the fraction of heap reserved for shuffle memory.
+	ShuffleCapacity float64
+	// NewRatio is the JVM ParallelGC ratio of Old capacity to Young capacity.
+	NewRatio int
+	// SurvivorRatio is the ratio of Eden capacity to one Survivor space.
+	SurvivorRatio int
+}
+
+// Default returns the configuration implied by Amazon EMR's
+// MaxResourceAllocation policy plus the Spark and JVM framework defaults
+// (Table 4): one fat container per node, two slots, a 0.6 unified pool
+// (attributed to the dominant pool by the caller), NewRatio 2, SurvivorRatio 8.
+func Default() Config {
+	return Config{
+		ContainersPerNode: 1,
+		TaskConcurrency:   2,
+		CacheCapacity:     0.6,
+		ShuffleCapacity:   0.0,
+		NewRatio:          2,
+		SurvivorRatio:     8,
+	}
+}
+
+// DefaultShuffle is Default with the unified pool attributed to shuffle,
+// for map/reduce workloads that do not cache.
+func DefaultShuffle() Config {
+	c := Default()
+	c.CacheCapacity, c.ShuffleCapacity = 0, 0.6
+	return c
+}
+
+// UnifiedFraction is the fraction of heap given to Spark's unified memory
+// pool (cache + shuffle), the quantity spark.memory.fraction controls.
+func (c Config) UnifiedFraction() float64 {
+	return c.CacheCapacity + c.ShuffleCapacity
+}
+
+// Validate reports whether the configuration is structurally legal
+// (independent of any particular cluster's limits).
+func (c Config) Validate() error {
+	switch {
+	case c.ContainersPerNode < 1:
+		return errors.New("conf: ContainersPerNode must be >= 1")
+	case c.TaskConcurrency < 1:
+		return errors.New("conf: TaskConcurrency must be >= 1")
+	case c.CacheCapacity < 0 || c.CacheCapacity > 1:
+		return fmt.Errorf("conf: CacheCapacity %.2f outside [0,1]", c.CacheCapacity)
+	case c.ShuffleCapacity < 0 || c.ShuffleCapacity > 1:
+		return fmt.Errorf("conf: ShuffleCapacity %.2f outside [0,1]", c.ShuffleCapacity)
+	case c.UnifiedFraction() > 1:
+		return fmt.Errorf("conf: unified pool fraction %.2f exceeds 1", c.UnifiedFraction())
+	case c.NewRatio < 1:
+		return errors.New("conf: NewRatio must be >= 1")
+	case c.SurvivorRatio < 1:
+		return errors.New("conf: SurvivorRatio must be >= 1")
+	}
+	return nil
+}
+
+// String renders the configuration compactly for logs and tables.
+func (c Config) String() string {
+	return fmt.Sprintf("n=%d p=%d cache=%.2f shuffle=%.2f NR=%d SR=%d",
+		c.ContainersPerNode, c.TaskConcurrency, c.CacheCapacity,
+		c.ShuffleCapacity, c.NewRatio, c.SurvivorRatio)
+}

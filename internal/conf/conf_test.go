@@ -1,0 +1,60 @@
+package conf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesTable4(t *testing.T) {
+	d := Default()
+	if d.ContainersPerNode != 1 || d.TaskConcurrency != 2 {
+		t.Fatalf("default containers/concurrency wrong: %+v", d)
+	}
+	if d.UnifiedFraction() != 0.6 {
+		t.Fatalf("unified pool = %v, want 0.6", d.UnifiedFraction())
+	}
+	if d.NewRatio != 2 || d.SurvivorRatio != 8 {
+		t.Fatalf("default GC knobs wrong: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultShuffle(t *testing.T) {
+	d := DefaultShuffle()
+	if d.CacheCapacity != 0 || d.ShuffleCapacity != 0.6 {
+		t.Fatalf("shuffle default wrong: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := Default()
+	mutations := map[string]func(Config) Config{
+		"containers":  func(c Config) Config { c.ContainersPerNode = 0; return c },
+		"concurrency": func(c Config) Config { c.TaskConcurrency = 0; return c },
+		"cacheNeg":    func(c Config) Config { c.CacheCapacity = -0.1; return c },
+		"cacheBig":    func(c Config) Config { c.CacheCapacity = 1.1; return c },
+		"shuffleNeg":  func(c Config) Config { c.ShuffleCapacity = -0.1; return c },
+		"unified>1":   func(c Config) Config { c.CacheCapacity, c.ShuffleCapacity = 0.7, 0.7; return c },
+		"newRatio":    func(c Config) Config { c.NewRatio = 0; return c },
+		"survivor":    func(c Config) Config { c.SurvivorRatio = 0; return c },
+	}
+	for name, mutate := range mutations {
+		if mutate(base).Validate() == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Default().String()
+	for _, frag := range []string{"n=1", "p=2", "cache=0.60", "NR=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}

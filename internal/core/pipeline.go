@@ -1,0 +1,48 @@
+package core
+
+import (
+	"relm/internal/conf"
+	"relm/internal/profile"
+	"relm/internal/tune"
+)
+
+// TuneWorkload runs the complete RelM workflow against an evaluator:
+// profile the application once on the default configuration, regenerate the
+// profile with the §4.1 heuristics when it contains no full-GC events
+// (decrease heap size, increase task concurrency, increase NewRatio — all
+// of which raise GC pressure), then recommend analytically. RelM's entire
+// stress-testing overhead is the one or two profiling runs.
+func (t *Tuner) TuneWorkload(ev *tune.Evaluator) (conf.Config, []Candidate, error) {
+	def := ev.Space.Default()
+	sample := ev.Eval(def)
+	st := profile.Generate(sample.Profile)
+
+	if !st.HadFullGC {
+		re := reprofileConfig(def, ev.Space)
+		sample2 := ev.Eval(re)
+		if st2 := profile.Generate(sample2.Profile); st2.HadFullGC {
+			st = st2
+		}
+	}
+	return t.Recommend(st)
+}
+
+// reprofileConfig applies the full-GC-inducing heuristics: halve the heap
+// (two containers per node), double the task concurrency, and raise
+// NewRatio.
+func reprofileConfig(def conf.Config, sp tune.Space) conf.Config {
+	re := def
+	if re.ContainersPerNode < 2 {
+		re.ContainersPerNode = 2
+	}
+	maxP := sp.MaxConcurrency(re.ContainersPerNode)
+	re.TaskConcurrency = clampInt(re.TaskConcurrency*2, 1, maxP)
+	re.NewRatio = clampInt(re.NewRatio+2, 1, sp.MaxNewRatio)
+	return re
+}
+
+// RecommendFromProfile is the single-profile entry point used by callers
+// that already hold a profile artifact (e.g. the CLI).
+func (t *Tuner) RecommendFromProfile(p *profile.Profile) (conf.Config, []Candidate, error) {
+	return t.Recommend(profile.Generate(p))
+}

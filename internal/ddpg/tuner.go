@@ -1,0 +1,141 @@
+package ddpg
+
+import (
+	"relm/internal/conf"
+	"relm/internal/gbo"
+	"relm/internal/profile"
+	"relm/internal/tune"
+)
+
+// TuneOptions drives the RL tuning loop of Figure 15.
+type TuneOptions struct {
+	// MaxSteps is the stopping budget of new samples (the paper stops DDPG
+	// after observing 10 new samples).
+	MaxSteps int
+	// TrainPerStep is the number of minibatch updates after each
+	// observation.
+	TrainPerStep int
+	Seed         uint64
+}
+
+func (o *TuneOptions) fill() {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10
+	}
+	if o.TrainPerStep == 0 {
+		o.TrainPerStep = 8
+	}
+}
+
+// TuneResult reports one RL tuning run.
+type TuneResult struct {
+	Best       tune.Sample
+	Found      bool
+	Iterations int
+	Curve      []float64 // best objective so far per evaluation
+	Agent      *Agent    // reusable across environments (Figure 27)
+}
+
+// StateDim is the dimensionality of the environment state: the Table 6
+// statistics (normalized) plus the three Q guide metrics and two run
+// outcomes (heap utilization, GC overhead).
+const StateDim = 13
+
+// stateOf featurizes a sample for the agent.
+func stateOf(s tune.Sample, q *gbo.Model) []float64 {
+	st := profile.Generate(s.Profile)
+	mh := st.MhMB
+	if mh <= 0 {
+		mh = 1
+	}
+	metrics := q.Metrics(s.Config)
+	aborted := 0.0
+	if s.Result.Aborted {
+		aborted = 1
+	}
+	return []float64{
+		st.CPUAvg,
+		st.DiskAvg,
+		st.MiMB / mh,
+		st.McMB / mh,
+		st.MsMB / mh,
+		st.MuMB / mh,
+		float64(st.P) / 8,
+		st.H,
+		st.S,
+		s.Result.GCOverhead,
+		clip(metrics[0], 0, 2) / 2,
+		clip(metrics[1], 0, 3) / 3,
+		aborted,
+	}
+}
+
+// actionToConfig maps an action in [-1,1]^4 to a configuration through the
+// normalized space.
+func actionToConfig(sp tune.Space, a []float64) conf.Config {
+	x := make([]float64, len(a))
+	for i, v := range a {
+		x[i] = (v + 1) / 2
+	}
+	return sp.Decode(x)
+}
+
+// Tune runs the DDPG loop against an evaluator, optionally continuing with
+// a pre-trained agent (model re-use across clusters or datasets, §6.6).
+func Tune(ev *tune.Evaluator, agent *Agent, opts TuneOptions) TuneResult {
+	opts.fill()
+	if agent == nil {
+		agent = NewAgent(Options{StateDim: StateDim, ActionDim: ev.Space.Dim(), Seed: opts.Seed})
+	}
+	res := TuneResult{Agent: agent}
+
+	record := func(s tune.Sample) {
+		if !s.Result.Aborted && (!res.Found || s.Objective < res.Best.Objective) {
+			res.Best, res.Found = s, true
+		}
+		cur := s.Objective
+		if res.Found {
+			cur = res.Best.Objective
+		}
+		res.Curve = append(res.Curve, cur)
+	}
+
+	// Initial observation: the default configuration (the tuning request's
+	// starting state in CDBTune).
+	def := ev.Space.Default()
+	s0 := ev.Eval(def)
+	record(s0)
+	qmodel := gbo.NewModel(ev.Cluster, profile.Generate(s0.Profile))
+	state := stateOf(s0, qmodel)
+	perf0 := s0.Objective
+	perfPrev := perf0
+
+	for step := 0; step < opts.MaxSteps; step++ {
+		action := agent.Act(state, true)
+		cfg := actionToConfig(ev.Space, action)
+		s := ev.Eval(cfg)
+		record(s)
+
+		next := stateOf(s, qmodel)
+		reward := CDBTuneReward(perf0, perfPrev, s.Objective)
+		agent.Observe(Transition{
+			State:     state,
+			Action:    action,
+			Reward:    reward,
+			NextState: next,
+			Done:      step == opts.MaxSteps-1,
+		})
+		for i := 0; i < opts.TrainPerStep; i++ {
+			agent.Train()
+		}
+		state = next
+		perfPrev = s.Objective
+	}
+	res.Iterations = opts.MaxSteps
+	if !res.Found {
+		if best, ok := ev.Best(); ok {
+			res.Best, res.Found = best, true
+		}
+	}
+	return res
+}

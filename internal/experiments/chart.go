@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chart renders a small ASCII bar chart — enough to eyeball the shape of a
+// paper figure in terminal output. Values are scaled to the observed range.
+type chart struct {
+	title  string
+	labels []string
+	values []float64
+	marks  []string // optional per-bar annotation (e.g. "*" for failures)
+	width  int
+}
+
+func newChart(title string) *chart { return &chart{title: title, width: 40} }
+
+func (c *chart) bar(label string, v float64, mark string) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, v)
+	c.marks = append(c.marks, mark)
+}
+
+func (c *chart) String() string {
+	if len(c.values) == 0 {
+		return c.title + ": (no data)\n"
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range c.values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(c.labels[i]) > maxLabel {
+			maxLabel = len(c.labels[i])
+		}
+	}
+	if maxV <= 0 || math.IsNaN(maxV) || math.IsInf(maxV, 0) {
+		maxV = 1
+	}
+	var b strings.Builder
+	if c.title != "" {
+		b.WriteString(c.title)
+		b.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		n := int(math.Round(v / maxV * float64(c.width)))
+		if n < 0 {
+			n = 0
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.2f%s\n", maxLabel, c.labels[i], strings.Repeat("█", n), v, c.marks[i])
+	}
+	return b.String()
+}
+
+// Chart renders the sweep's scaled-runtime series per app as bar charts —
+// a terminal approximation of the paper's figure panels.
+func (r *SweepResult) Chart() string {
+	byApp := map[string][]SweepPoint{}
+	var order []string
+	for _, p := range r.Points {
+		if _, ok := byApp[p.App]; !ok {
+			order = append(order, p.App)
+		}
+		byApp[p.App] = append(byApp[p.App], p)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (scaled runtime; * = failed)\n", r.ID, r.Title)
+	for _, app := range order {
+		ch := newChart(app)
+		for _, p := range byApp[app] {
+			mark := ""
+			if p.Failed {
+				mark = " *"
+			}
+			ch.bar(fmt.Sprintf("%.2f", p.X), p.Scaled, mark)
+		}
+		b.WriteString(ch.String())
+	}
+	return b.String()
+}
+
+// Chart renders the recommendation-quality comparison per app.
+func (r *Figure17Result) Chart() string {
+	byApp := map[string][]int{}
+	var order []string
+	for i, row := range r.Rows {
+		if _, ok := byApp[row.App]; !ok {
+			order = append(order, row.App)
+		}
+		byApp[row.App] = append(byApp[row.App], i)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 17 — runtime scaled to MaxResourceAllocation (* = container failures)\n")
+	for _, app := range order {
+		ch := newChart(app)
+		for _, i := range byApp[app] {
+			row := r.Rows[i]
+			mark := ""
+			if row.Failures > 0 || row.Aborted {
+				mark = fmt.Sprintf(" *%d", row.Failures)
+			}
+			ch.bar(row.Policy, row.Scaled, mark)
+		}
+		b.WriteString(ch.String())
+	}
+	return b.String()
+}
+
+// Chart renders the GC-overhead curve (Figure 9).
+func (r *Figure9Result) Chart() string {
+	ch := newChart("Figure 9 — K-means per-task GC overhead vs NewRatio (cache 0.6)")
+	for i, nr := range r.NewRatios {
+		ch.bar(fmt.Sprintf("NR=%d", nr), r.GCOver[i], "")
+	}
+	return ch.String()
+}

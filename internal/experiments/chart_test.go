@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	ch := newChart("title")
+	ch.bar("a", 1, "")
+	ch.bar("b", 2, " *")
+	out := ch.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "a") {
+		t.Fatalf("chart missing pieces:\n%s", out)
+	}
+	// The larger value must render a longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "*") {
+		t.Fatal("mark lost")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if out := newChart("t").String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	ch := newChart("zeros")
+	ch.bar("a", 0, "")
+	if out := ch.String(); out == "" {
+		t.Fatal("zero-value chart must still render")
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	res := &SweepResult{ID: "Figure X", Title: "test"}
+	res.Points = append(res.Points,
+		SweepPoint{App: "A", X: 1, Scaled: 1},
+		SweepPoint{App: "A", X: 2, Scaled: 0.5, Failed: true},
+	)
+	out := res.Chart()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "*") {
+		t.Fatalf("sweep chart:\n%s", out)
+	}
+}
+
+func TestFigure9Chart(t *testing.T) {
+	r := &Figure9Result{NewRatios: []int{1, 2}, GCOver: []float64{0.4, 0.1}, GCStd: []float64{0, 0}}
+	out := r.Chart()
+	if !strings.Contains(out, "NR=1") || !strings.Contains(out, "NR=2") {
+		t.Fatalf("figure 9 chart:\n%s", out)
+	}
+}
+
+func TestFigure17Chart(t *testing.T) {
+	res := Figure17(quickCfg())
+	out := res.Chart()
+	if !strings.Contains(out, "RelM") || !strings.Contains(out, "Exhaustive") {
+		t.Fatalf("figure 17 chart missing policies:\n%s", out)
+	}
+}

@@ -1,0 +1,131 @@
+package gbo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relm/internal/conf"
+	"relm/internal/stats"
+	"relm/internal/tune"
+)
+
+// MetricFunc computes one guide indicator for a candidate configuration
+// given the profiled model.
+type MetricFunc func(m *Model, c conf.Config) float64
+
+// NamedMetric pairs a metric with its identifier.
+type NamedMetric struct {
+	Name string
+	Fn   MetricFunc
+}
+
+// Registry holds the guide metrics available to GBO. The paper's §5.2 notes
+// that the q-set "could be expanded to add more indicators of the RelM
+// goals" with a mechanism that keeps the features independent and ranked by
+// importance; Registry implements that mechanism.
+type Registry struct {
+	metrics []NamedMetric
+}
+
+// NewRegistry returns a registry pre-populated with the Equation 8 metrics.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.Register("q1-heap-occupancy", func(m *Model, c conf.Config) float64 {
+		return m.Metrics(c)[0]
+	})
+	r.Register("q2-longterm-efficiency", func(m *Model, c conf.Config) float64 {
+		return m.Metrics(c)[1]
+	})
+	r.Register("q3-shuffle-efficiency", func(m *Model, c conf.Config) float64 {
+		return m.Metrics(c)[2]
+	})
+	return r
+}
+
+// Register adds a metric; duplicate names are rejected.
+func (r *Registry) Register(name string, fn MetricFunc) error {
+	for _, m := range r.metrics {
+		if m.Name == name {
+			return fmt.Errorf("gbo: metric %q already registered", name)
+		}
+	}
+	r.metrics = append(r.metrics, NamedMetric{Name: name, Fn: fn})
+	return nil
+}
+
+// Names lists the registered metrics in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// RankedMetric is a metric with its measured importance.
+type RankedMetric struct {
+	NamedMetric
+	// AbsPearson is |Pearson correlation| between the metric's values and
+	// the observed objective across the samples.
+	AbsPearson float64
+}
+
+// Rank scores every metric against the observed samples and returns them in
+// decreasing importance.
+func (r *Registry) Rank(m *Model, samples []tune.Sample) []RankedMetric {
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		ys[i] = s.Objective
+	}
+	out := make([]RankedMetric, 0, len(r.metrics))
+	for _, nm := range r.metrics {
+		col := make([]float64, len(samples))
+		for i, s := range samples {
+			col[i] = nm.Fn(m, s.Config)
+		}
+		out = append(out, RankedMetric{NamedMetric: nm, AbsPearson: math.Abs(stats.Pearson(col, ys))})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].AbsPearson > out[b].AbsPearson })
+	return out
+}
+
+// SelectIndependent returns the most important metrics whose pairwise
+// correlation (measured on the samples) stays below maxMutualCorr — a greedy
+// forward selection that keeps the feature set independent, as the paper
+// requires of additions to Q.
+func (r *Registry) SelectIndependent(m *Model, samples []tune.Sample, maxMutualCorr float64) []RankedMetric {
+	ranked := r.Rank(m, samples)
+	cols := map[string][]float64{}
+	for _, rm := range ranked {
+		col := make([]float64, len(samples))
+		for i, s := range samples {
+			col[i] = rm.Fn(m, s.Config)
+		}
+		cols[rm.Name] = col
+	}
+	var selected []RankedMetric
+	for _, cand := range ranked {
+		independent := true
+		for _, have := range selected {
+			if math.Abs(stats.Pearson(cols[cand.Name], cols[have.Name])) > maxMutualCorr {
+				independent = false
+				break
+			}
+		}
+		if independent {
+			selected = append(selected, cand)
+		}
+	}
+	return selected
+}
+
+// Features builds a feature vector from the selected metrics for one
+// candidate configuration (squashed like the built-in q features).
+func Features(m *Model, selected []RankedMetric, c conf.Config) []float64 {
+	out := make([]float64, len(selected))
+	for i, rm := range selected {
+		out[i] = squash(rm.Fn(m, c) / 2)
+	}
+	return out
+}

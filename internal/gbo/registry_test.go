@@ -1,0 +1,120 @@
+package gbo
+
+import (
+	"testing"
+
+	"relm/internal/conf"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/tune"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) != 3 {
+		t.Fatalf("builtins = %v", names)
+	}
+	if names[0] != "q1-heap-occupancy" {
+		t.Fatalf("first builtin = %s", names[0])
+	}
+}
+
+func TestRegisterDuplicateRejected(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("custom", func(*Model, conf.Config) float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("custom", func(*Model, conf.Config) float64 { return 1 }); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+}
+
+func TestRankOrdersByCorrelation(t *testing.T) {
+	m := model()
+	// Synthetic samples: objective equals the cache capacity, so a metric
+	// returning the cache capacity must rank first.
+	sp := tune.NewSpace(cluster.A(), workload.KMeans())
+	var samples []tune.Sample
+	for _, capv := range []float64{0.1, 0.3, 0.5, 0.7, 0.8} {
+		cfg := sp.Build(1, 2, capv, 2)
+		samples = append(samples, tune.Sample{Config: cfg, X: sp.Encode(cfg), Objective: capv * 100})
+	}
+	r := NewRegistry()
+	if err := r.Register("oracle", func(_ *Model, c conf.Config) float64 { return c.CacheCapacity }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("noise", func(*Model, conf.Config) float64 { return 0.42 }); err != nil {
+		t.Fatal(err)
+	}
+	ranked := r.Rank(m, samples)
+	// The oracle correlates perfectly (as may q1, which also tracks the
+	// cache capacity); either way the top rank must carry |r| ≈ 1 and the
+	// oracle must be ranked above the constant noise metric.
+	if ranked[0].AbsPearson < 0.999 {
+		t.Fatalf("top metric correlation = %v", ranked[0].AbsPearson)
+	}
+	var oracleRank, noiseRank int
+	for i, rm := range ranked {
+		switch rm.Name {
+		case "oracle":
+			oracleRank = i
+		case "noise":
+			noiseRank = i
+		}
+	}
+	if oracleRank >= noiseRank {
+		t.Fatalf("oracle (rank %d) must beat noise (rank %d)", oracleRank, noiseRank)
+	}
+	if ranked[len(ranked)-1].AbsPearson != 0 {
+		t.Fatalf("weakest metric should have zero correlation: %+v", ranked[len(ranked)-1])
+	}
+}
+
+func TestSelectIndependentDropsDuplicates(t *testing.T) {
+	m := model()
+	sp := tune.NewSpace(cluster.A(), workload.KMeans())
+	var samples []tune.Sample
+	for _, capv := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+		cfg := sp.Build(1, 2, capv, 2)
+		samples = append(samples, tune.Sample{Config: cfg, X: sp.Encode(cfg), Objective: capv * 100})
+	}
+	r := NewRegistry()
+	r.Register("oracle", func(_ *Model, c conf.Config) float64 { return c.CacheCapacity })
+	r.Register("oracle-copy", func(_ *Model, c conf.Config) float64 { return 2 * c.CacheCapacity })
+	selected := r.SelectIndependent(m, samples, 0.95)
+	if len(selected) == 0 {
+		t.Fatal("nothing selected")
+	}
+	names := map[string]bool{}
+	for _, s := range selected {
+		names[s.Name] = true
+	}
+	if names["oracle"] && names["oracle-copy"] {
+		t.Fatal("perfectly correlated metrics must not both be selected")
+	}
+	// The top selection must be maximally informative.
+	if selected[0].AbsPearson < 0.999 {
+		t.Fatalf("top selected correlation = %v", selected[0].AbsPearson)
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	m := model()
+	r := NewRegistry()
+	sp := tune.NewSpace(cluster.A(), workload.KMeans())
+	var samples []tune.Sample
+	for _, cfg := range sp.Grid()[:10] {
+		samples = append(samples, tune.Sample{Config: cfg, X: sp.Encode(cfg), Objective: 100})
+	}
+	selected := r.SelectIndependent(m, samples, 0.9)
+	f := Features(m, selected, conf.Default())
+	if len(f) != len(selected) {
+		t.Fatalf("feature dim %d vs %d selected", len(f), len(selected))
+	}
+	for _, v := range f {
+		if v < 0 {
+			t.Fatal("squashed feature negative")
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package gp implements Gaussian Process regression — the surrogate model of
+// the paper's Bayesian Optimization (§5.1, Equation 6): kernels (ARD RBF and
+// Matérn-5/2), exact inference via Cholesky factorization, posterior mean and
+// variance, and a small marginal-likelihood grid search for the kernel
+// hyperparameters.
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"relm/internal/linalg"
+)
+
+// Kernel is a positive-semidefinite covariance function.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+}
+
+// RBF is the squared-exponential kernel with automatic relevance
+// determination: k(a,b) = σ²·exp(-½ Σ ((a_d-b_d)/l_d)²).
+type RBF struct {
+	Variance float64
+	Length   []float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		l := k.length(d)
+		diff := (a[d] - b[d]) / l
+		s += diff * diff
+	}
+	return k.Variance * math.Exp(-0.5*s)
+}
+
+func (k RBF) length(d int) float64 {
+	if d < len(k.Length) && k.Length[d] > 0 {
+		return k.Length[d]
+	}
+	return 1
+}
+
+// Matern52 is the Matérn kernel with ν = 5/2, a standard choice for
+// response surfaces that are less smooth than the RBF assumes.
+type Matern52 struct {
+	Variance float64
+	Length   []float64
+}
+
+// Eval implements Kernel.
+func (k Matern52) Eval(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		l := 1.0
+		if d < len(k.Length) && k.Length[d] > 0 {
+			l = k.Length[d]
+		}
+		diff := (a[d] - b[d]) / l
+		s += diff * diff
+	}
+	r := math.Sqrt(s)
+	c := math.Sqrt(5) * r
+	return k.Variance * (1 + c + 5.0/3.0*s) * math.Exp(-c)
+}
+
+// GP is a Gaussian Process regressor. Targets are standardized internally so
+// kernel variances stay O(1).
+type GP struct {
+	Kernel Kernel
+	Noise  float64 // observation noise σ² (on standardized targets)
+
+	xs    [][]float64
+	alpha []float64
+	chol  *linalg.Matrix
+	meanY float64
+	stdY  float64
+}
+
+// New returns an unfitted GP.
+func New(k Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &GP{Kernel: k, Noise: noise}
+}
+
+// ErrNoData is returned by Fit with empty inputs.
+var ErrNoData = errors.New("gp: no training data")
+
+// Fit conditions the process on the observations.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return ErrNoData
+	}
+	n := len(xs)
+	g.xs = make([][]float64, n)
+	for i, x := range xs {
+		g.xs[i] = append([]float64(nil), x...)
+	}
+
+	// Standardize targets.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	var varY float64
+	for _, y := range ys {
+		d := y - mean
+		varY += d * d
+	}
+	varY /= float64(n)
+	std := math.Sqrt(varY)
+	if std < 1e-12 {
+		std = 1
+	}
+	g.meanY, g.stdY = mean, std
+	yn := make([]float64, n)
+	for i, y := range ys {
+		yn[i] = (y - mean) / std
+	}
+
+	// Gram matrix + noise.
+	gram := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kernel.Eval(g.xs[i], g.xs[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	gram.AddDiag(g.Noise)
+	l, err := linalg.CholeskyJitter(gram)
+	if err != nil {
+		return err
+	}
+	g.chol = l
+	g.alpha = linalg.CholSolve(l, yn)
+	return nil
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.xs) }
+
+// Predict returns the posterior mean and variance at x (Equation 6).
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if g.chol == nil {
+		return g.meanY, 1
+	}
+	n := len(g.xs)
+	k := make([]float64, n)
+	for i := range g.xs {
+		k[i] = g.Kernel.Eval(x, g.xs[i])
+	}
+	mu := linalg.Dot(k, g.alpha)
+	v := linalg.SolveLower(g.chol, k)
+	variance = g.Kernel.Eval(x, x) - linalg.Dot(v, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	// De-standardize.
+	mean = g.meanY + g.stdY*mu
+	variance *= g.stdY * g.stdY
+	return mean, variance
+}
+
+// LogMarginalLikelihood returns log p(y|X) of the fitted model (up to the
+// constant term), used for hyperparameter selection.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		return math.Inf(-1)
+	}
+	n := len(g.xs)
+	yn := make([]float64, n)
+	// Recover standardized targets from alpha: y = K·alpha. Cheaper: use
+	// 0.5·yᵀα with y reconstructed; store during Fit instead.
+	for i := range yn {
+		var s float64
+		for j := range g.xs {
+			s += g.Kernel.Eval(g.xs[i], g.xs[j]) * g.alpha[j]
+		}
+		// Add the noise term contribution.
+		s += g.Noise * g.alpha[i]
+		yn[i] = s
+	}
+	fit := -0.5 * linalg.Dot(yn, g.alpha)
+	det := -0.5 * linalg.LogDetFromChol(g.chol)
+	return fit + det - 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
+// FitBest grid-searches isotropic length scales and noise levels, keeping
+// the model with the highest marginal likelihood. The kind selects RBF
+// ("rbf") or Matérn-5/2 ("matern52").
+func FitBest(kind string, xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	return FitBestGrouped(kind, xs, ys, len(xs[0]))
+}
+
+// FitBestGrouped grid-searches two length-scale groups — the first baseDims
+// dimensions (the configuration knobs) and the remainder (guide features) —
+// keeping the model with the highest marginal likelihood.
+func FitBestGrouped(kind string, xs [][]float64, ys []float64, baseDims int) (*GP, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(xs[0])
+	if baseDims > dim {
+		baseDims = dim
+	}
+	baseLengths := []float64{0.1, 0.2, 0.35, 0.6, 1.0}
+	extraLengths := []float64{1.0}
+	if dim > baseDims {
+		extraLengths = []float64{0.15, 0.35, 0.8}
+	}
+	noises := []float64{1e-4, 1e-2}
+	var best *GP
+	bestML := math.Inf(-1)
+	for _, lb := range baseLengths {
+		for _, le := range extraLengths {
+			ls := make([]float64, dim)
+			for d := range ls {
+				if d < baseDims {
+					ls[d] = lb
+				} else {
+					ls[d] = le
+				}
+			}
+			var k Kernel
+			if kind == "matern52" {
+				k = Matern52{Variance: 1, Length: ls}
+			} else {
+				k = RBF{Variance: 1, Length: ls}
+			}
+			for _, noise := range noises {
+				cand := New(k, noise)
+				if err := cand.Fit(xs, ys); err != nil {
+					continue
+				}
+				if ml := cand.LogMarginalLikelihood(); ml > bestML {
+					best, bestML = cand, ml
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, errors.New("gp: no hyperparameter setting produced a valid fit")
+	}
+	return best, nil
+}

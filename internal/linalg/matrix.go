@@ -1,0 +1,281 @@
+// Package linalg implements the small dense linear-algebra kernel needed by
+// the Gaussian-Process surrogate model: matrices, Cholesky factorization,
+// triangular solves and a few vector helpers. It is deliberately minimal and
+// allocation-conscious; matrices are row-major []float64 slices.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v as a vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddDiag adds v to each diagonal element in place.
+func (m *Matrix) AddDiag(v float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// ErrNotPSD is returned by Cholesky when the matrix is not (numerically)
+// positive definite even after jitter.
+var ErrNotPSD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = m for a symmetric
+// positive-definite matrix. It returns ErrNotPSD if the factorization fails.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("linalg: Cholesky on non-square matrix")
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPSD
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskyJitter is Cholesky with progressively larger diagonal jitter, the
+// standard trick to stabilize Gram matrices built from nearly-duplicate
+// sample points. It mutates a copy, never its argument.
+func CholeskyJitter(m *Matrix) (*Matrix, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		c := m.Clone()
+		if jitter > 0 {
+			c.AddDiag(jitter)
+		}
+		l, err := Cholesky(c)
+		if err == nil {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPSD
+}
+
+// SolveLower solves L·x = b for lower-triangular L.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveLower dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= li[k] * x[k]
+		}
+		x[i] = sum / li[i]
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ·x = b given lower-triangular L (i.e. an upper solve
+// against the transpose, without materializing it).
+func SolveUpperT(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveUpperT dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves (L·Lᵀ)·x = b using a precomputed Cholesky factor.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log|A| given A = L·Lᵀ.
+func LogDetFromChol(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Scale multiplies every element in place.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Add returns m + b as a new matrix.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: Add dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise for vectors.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AXPY computes y += a·x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,250 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relm/internal/simrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set wrong")
+	}
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatal("Row wrong")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T dims %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatal("T values wrong")
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := a.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestSubAXPY(t *testing.T) {
+	d := Sub([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatal("Sub wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatal("AXPY wrong")
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.At(0, 0), 2, 1e-12) || !almostEq(l.At(1, 0), 1, 1e-12) ||
+		!almostEq(l.At(1, 1), math.Sqrt(2), 1e-12) {
+		t.Fatalf("L = %v", l.Data)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrNotPSD")
+	}
+}
+
+// randomSPD builds A = B·Bᵀ + n·I, guaranteed symmetric positive definite.
+func randomSPD(rng *simrand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.Norm(0, 1)
+	}
+	a := b.Mul(b.T())
+	a.AddDiag(float64(n))
+	return a
+}
+
+// Property: Cholesky round-trips (L·Lᵀ == A) for random SPD matrices.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	rng := simrand.New(99)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back := l.Mul(l.T())
+		for i := range a.Data {
+			if !almostEq(a.Data[i], back.Data[i], 1e-8*float64(n)) {
+				t.Fatalf("trial %d: L·Lᵀ != A at %d: %v vs %v", trial, i, back.Data[i], a.Data[i])
+			}
+		}
+	}
+}
+
+// Property: CholSolve solves A·x = b.
+func TestCholSolveProperty(t *testing.T) {
+	rng := simrand.New(123)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Norm(0, 2)
+		}
+		b := a.MulVec(x)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholSolve(l, b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-6) {
+				t.Fatalf("trial %d: solve[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	// L·x = b with b = (4, 11) → x = (2, 3).
+	x := SolveLower(l, []float64{4, 11})
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("SolveLower = %v", x)
+	}
+	// Lᵀ·y = b with b = (7, 9) → y = (2, 3) since Lᵀ = [[2,1],[0,3]].
+	y := SolveUpperT(l, []float64{7, 9})
+	if !almostEq(y[0], 2, 1e-12) || !almostEq(y[1], 3, 1e-12) {
+		t.Fatalf("SolveUpperT = %v", y)
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}}) // det = 36
+	l, _ := Cholesky(a)
+	if !almostEq(LogDetFromChol(l), math.Log(36), 1e-12) {
+		t.Fatal("log det wrong")
+	}
+}
+
+func TestCholeskyJitterRecovers(t *testing.T) {
+	// Nearly singular Gram matrix (duplicate rows).
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	l, err := CholeskyJitter(a)
+	if err != nil {
+		t.Fatalf("jitter should recover: %v", err)
+	}
+	if l == nil {
+		t.Fatal("nil factor")
+	}
+}
+
+func TestAddScaleClone(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 20}})
+	c := a.Add(b)
+	if c.At(0, 1) != 22 {
+		t.Fatal("Add wrong")
+	}
+	clone := a.Clone()
+	clone.Scale(3)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if clone.At(0, 0) != 3 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+// Property via testing/quick: Dot is symmetric (inputs tamed to a finite
+// range so products cannot overflow).
+func TestDotSymmetry(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := tame(a[:]), tame(b[:])
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// tame maps arbitrary floats into [-100, 100], replacing non-finite values.
+func tame(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 1
+		}
+		out[i] = math.Remainder(v, 100)
+	}
+	return out
+}
+
+func TestDimensionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Mul":    func() { NewMatrix(2, 2).Mul(NewMatrix(3, 3)) },
+		"MulVec": func() { NewMatrix(2, 2).MulVec([]float64{1}) },
+		"Dot":    func() { Dot([]float64{1}, []float64{1, 2}) },
+		"ragged": func() { FromRows([][]float64{{1, 2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

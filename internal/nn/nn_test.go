@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"relm/internal/simrand"
+)
+
+func TestForwardShapes(t *testing.T) {
+	rng := simrand.New(1)
+	net := NewNet(rng, []int{3, 8, 2}, ReLU, Linear)
+	out := net.Forward([]float64{0.1, -0.2, 0.3}, nil)
+	if len(out) != 2 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+}
+
+func TestTanhOutputBounded(t *testing.T) {
+	rng := simrand.New(2)
+	net := NewNet(rng, []int{4, 16, 4}, ReLU, Tanh)
+	for i := 0; i < 50; i++ {
+		in := []float64{rng.Norm(0, 5), rng.Norm(0, 5), rng.Norm(0, 5), rng.Norm(0, 5)}
+		for _, v := range net.Forward(in, nil) {
+			if v < -1 || v > 1 {
+				t.Fatalf("tanh output out of range: %v", v)
+			}
+		}
+	}
+}
+
+// TestGradientCheck compares backpropagated gradients against numerical
+// differentiation — the canonical correctness test for the NN substrate.
+func TestGradientCheck(t *testing.T) {
+	rng := simrand.New(3)
+	net := NewNet(rng, []int{3, 5, 2}, Tanh, Linear)
+	x := []float64{0.3, -0.7, 0.2}
+	target := []float64{1, -1}
+
+	loss := func() float64 {
+		out := net.Forward(x, nil)
+		var l float64
+		for i := range out {
+			d := out[i] - target[i]
+			l += d * d
+		}
+		return l
+	}
+
+	// Analytic gradients.
+	var tape Tape
+	out := net.Forward(x, &tape)
+	gradOut := make([]float64, len(out))
+	for i := range out {
+		gradOut[i] = 2 * (out[i] - target[i])
+	}
+	grads := net.NewGrads()
+	net.Backward(&tape, gradOut, grads)
+
+	// Numerical check over a sample of weights in every layer.
+	const eps = 1e-6
+	for l := range net.w {
+		for _, idx := range []int{0, len(net.w[l]) / 2, len(net.w[l]) - 1} {
+			orig := net.w[l][idx]
+			net.w[l][idx] = orig + eps
+			up := loss()
+			net.w[l][idx] = orig - eps
+			down := loss()
+			net.w[l][idx] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := grads.W[l][idx]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d weight %d: numeric %v vs analytic %v", l, idx, numeric, analytic)
+			}
+		}
+		// And one bias per layer.
+		origB := net.b[l][0]
+		net.b[l][0] = origB + eps
+		up := loss()
+		net.b[l][0] = origB - eps
+		down := loss()
+		net.b[l][0] = origB
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-grads.B[l][0]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("layer %d bias: numeric %v vs analytic %v", l, numeric, grads.B[l][0])
+		}
+	}
+}
+
+func TestInputGradient(t *testing.T) {
+	rng := simrand.New(4)
+	net := NewNet(rng, []int{2, 4, 1}, Tanh, Linear)
+	x := []float64{0.5, -0.5}
+	var tape Tape
+	net.Forward(x, &tape)
+	gradIn := net.Backward(&tape, []float64{1}, net.NewGrads())
+	if len(gradIn) != 2 {
+		t.Fatalf("input gradient dim = %d", len(gradIn))
+	}
+	// Numerical check on input 0.
+	const eps = 1e-6
+	f := func(v float64) float64 {
+		return net.Forward([]float64{v, -0.5}, nil)[0]
+	}
+	numeric := (f(0.5+eps) - f(0.5-eps)) / (2 * eps)
+	if math.Abs(numeric-gradIn[0]) > 1e-5*(1+math.Abs(numeric)) {
+		t.Fatalf("input gradient: numeric %v vs analytic %v", numeric, gradIn[0])
+	}
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	rng := simrand.New(5)
+	net := NewNet(rng, []int{1, 16, 1}, Tanh, Linear)
+	target := func(x float64) float64 { return 2*x - 1 }
+
+	mse := func() float64 {
+		var l float64
+		for i := 0; i < 20; i++ {
+			x := float64(i) / 19
+			d := net.Forward([]float64{x}, nil)[0] - target(x)
+			l += d * d
+		}
+		return l / 20
+	}
+	before := mse()
+	for epoch := 0; epoch < 300; epoch++ {
+		grads := net.NewGrads()
+		for i := 0; i < 20; i++ {
+			x := float64(i) / 19
+			var tape Tape
+			out := net.Forward([]float64{x}, &tape)
+			net.Backward(&tape, []float64{2 * (out[0] - target(x))}, grads)
+		}
+		net.AdamStep(grads, 0.01, 20)
+	}
+	after := mse()
+	if after > before/10 || after > 0.02 {
+		t.Fatalf("Adam did not learn: MSE %v → %v", before, after)
+	}
+}
+
+func TestSoftUpdateMovesTowardSource(t *testing.T) {
+	rng := simrand.New(6)
+	a := NewNet(rng, []int{2, 3, 1}, ReLU, Linear)
+	b := a.Clone()
+	// Perturb b, then soft-update a toward b.
+	b.w[0][0] += 10
+	before := a.w[0][0]
+	a.SoftUpdate(b, 0.1)
+	if math.Abs(a.w[0][0]-(before+1)) > 1e-9 {
+		t.Fatalf("soft update wrong: %v", a.w[0][0])
+	}
+}
+
+func TestCopyFromAndCloneIndependence(t *testing.T) {
+	rng := simrand.New(7)
+	a := NewNet(rng, []int{2, 3, 1}, ReLU, Linear)
+	c := a.Clone()
+	c.w[0][0] += 5
+	if a.w[0][0] == c.w[0][0] {
+		t.Fatal("clone aliases the original")
+	}
+	a.CopyFrom(c)
+	if a.w[0][0] != c.w[0][0] {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := simrand.New(8)
+	net := NewNet(rng, []int{3, 5, 2}, ReLU, Linear)
+	// (3·5 + 5) + (5·2 + 2) = 32.
+	if net.ParamCount() != 32 {
+		t.Fatalf("ParamCount = %d", net.ParamCount())
+	}
+}
+
+func TestNewNetPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNet(simrand.New(1), []int{3}, ReLU, Linear)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterAMatchesPaper(t *testing.T) {
+	a := A()
+	if a.Nodes != 8 || a.CoresPerNode != 8 {
+		t.Fatalf("Cluster A shape wrong: %+v", a)
+	}
+	// Table 3 / §4's example: heap per container for n=1..4.
+	want := []float64{4404, 2202, 1468, 1101}
+	for n := 1; n <= 4; n++ {
+		if got := a.HeapPerContainer(n); math.Abs(got-want[n-1]) > 0.5 {
+			t.Errorf("HeapPerContainer(%d) = %v, want %v", n, got, want[n-1])
+		}
+	}
+}
+
+func TestClusterBMatchesPaper(t *testing.T) {
+	b := B()
+	if b.Nodes != 4 {
+		t.Fatalf("Cluster B nodes = %d", b.Nodes)
+	}
+	if b.MemoryPerNodeMB != 32768 {
+		t.Fatalf("Cluster B memory = %v", b.MemoryPerNodeMB)
+	}
+	if b.NetworkMBps <= A().NetworkMBps {
+		t.Fatal("Cluster B must have the faster network (10Gbps vs 1Gbps)")
+	}
+}
+
+func TestPhysCapExceedsHeap(t *testing.T) {
+	for _, s := range []Spec{A(), B()} {
+		for n := 1; n <= 4; n++ {
+			if s.PhysCapPerContainer(n) <= s.HeapPerContainer(n) {
+				t.Errorf("%s n=%d: physical cap must exceed heap", s.Name, n)
+			}
+		}
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	a := A()
+	cases := map[int]int{1: 8, 2: 4, 3: 2, 4: 2}
+	for n, want := range cases {
+		if got := a.MaxConcurrencyPerContainer(n); got != want {
+			t.Errorf("MaxConcurrency(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Never below 1, even for absurd container counts.
+	if a.MaxConcurrencyPerContainer(100) != 1 {
+		t.Error("MaxConcurrency floor broken")
+	}
+}
+
+func TestContainers(t *testing.T) {
+	if A().Containers(3) != 24 {
+		t.Fatal("Containers(3) wrong for 8 nodes")
+	}
+}
+
+func TestDefensiveBounds(t *testing.T) {
+	a := A()
+	if a.HeapPerContainer(0) != a.HeapPerContainer(1) {
+		t.Error("n=0 should behave like n=1")
+	}
+	if a.PhysCapPerContainer(-1) != a.PhysCapPerContainer(1) {
+		t.Error("negative n should behave like n=1")
+	}
+}
+
+func TestString(t *testing.T) {
+	if A().String() == "" || B().String() == "" {
+		t.Error("String must describe the cluster")
+	}
+}

@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"testing"
+
+	"relm/internal/conf"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+)
+
+func TestClusterBRuns(t *testing.T) {
+	// Every TPC-H query completes on Cluster B under the defaults (the
+	// Figure 21 baseline): the 16GB heaps are roomy for SQL shuffles.
+	for _, q := range workload.TPCH() {
+		r, prof := Run(cluster.B(), q, conf.DefaultShuffle(), 5)
+		if r.Aborted {
+			t.Errorf("%s aborted under defaults on Cluster B", q.Name)
+		}
+		if prof.HeapSizeMB != 16384 {
+			t.Fatalf("heap = %v", prof.HeapSizeMB)
+		}
+	}
+}
+
+func TestClusterBRoomyForSortByKey(t *testing.T) {
+	// Cluster B's 16GB heaps hold SortByKey's sort working sets without the
+	// memory failures the 4.4GB heaps of Cluster A risk at high shuffle
+	// capacity (§3.1's unsafe setup is safe on B).
+	cfg := conf.DefaultShuffle()
+	cfg.ShuffleCapacity = 0.7
+	for seed := uint64(0); seed < 4; seed++ {
+		r, _ := Run(cluster.B(), workload.SortByKey(), cfg, seed)
+		if r.Aborted {
+			t.Fatalf("seed %d: SortByKey aborted on Cluster B", seed)
+		}
+	}
+}
+
+func TestScaledWorkloadRunsLonger(t *testing.T) {
+	base, _ := Run(cluster.B(), workload.SVM(), conf.Default(), 9)
+	big, _ := Run(cluster.B(), workload.Scale(workload.SVM(), 2), conf.Default(), 9)
+	if big.RuntimeSec <= base.RuntimeSec {
+		t.Fatalf("doubled dataset should run longer: %v vs %v", big.RuntimeSec, base.RuntimeSec)
+	}
+}
+
+func TestHigherConcurrencyHelpsTPCHOnB(t *testing.T) {
+	// The Figure 21 mechanism: the defaults (2 slots of 16 cores) leave
+	// Cluster B underutilized; more concurrency pays.
+	q := workload.TPCHQuery(9)
+	lazy := conf.DefaultShuffle()
+	busy := conf.DefaultShuffle()
+	busy.TaskConcurrency = 8
+	a, _ := Run(cluster.B(), q, lazy, 11)
+	b, _ := Run(cluster.B(), q, busy, 11)
+	if b.Aborted || b.RuntimeSec >= a.RuntimeSec {
+		t.Fatalf("concurrency 8 should beat 2 on Cluster B: %v vs %v", b.RuntimeSec, a.RuntimeSec)
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"relm/internal/conf"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+)
+
+func TestRunNProducesIndependentRuns(t *testing.T) {
+	results := RunN(cluster.A(), workload.SortByKey(), conf.DefaultShuffle(), 1, 5)
+	if len(results) != 5 {
+		t.Fatalf("runs = %d", len(results))
+	}
+	distinct := map[float64]bool{}
+	for _, r := range results {
+		if r.RuntimeSec <= 0 {
+			t.Fatal("bad runtime")
+		}
+		distinct[r.RuntimeSec] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("repeated runs should vary (seeded noise)")
+	}
+}
+
+func TestRunMatchesExec(t *testing.T) {
+	a, profA := Run(cluster.A(), workload.SVM(), conf.Default(), 7)
+	b, profB := Run(cluster.A(), workload.SVM(), conf.Default(), 7)
+	if a != b {
+		t.Fatal("facade runs not deterministic")
+	}
+	if profA.Duration != profB.Duration {
+		t.Fatal("profiles not deterministic")
+	}
+}

@@ -1,0 +1,113 @@
+// Package unified implements Spark's UnifiedMemoryManager semantics — the
+// arbitration between cache storage and execution (shuffle) memory inside
+// the single pool that spark.memory.fraction bounds (§2.1, [47] in the
+// paper):
+//
+//   - execution may borrow any storage space not in use, and may also evict
+//     cached blocks, but never below the protected storage region
+//     (spark.memory.storageFraction);
+//   - storage may borrow unused execution space, but borrowed storage is
+//     evicted as soon as execution asks for its memory back;
+//   - execution memory, once granted, is never revoked (tasks would
+//     deadlock), so storage requests only get what execution left behind.
+package unified
+
+import "relm/internal/units"
+
+// Manager arbitrates one container's unified memory pool.
+type Manager struct {
+	// PoolMB is the unified pool size (fraction of heap × heap).
+	PoolMB float64
+	// ProtectedMB is the storage region execution cannot evict
+	// (storageFraction × pool).
+	ProtectedMB float64
+
+	storageUsed   float64
+	executionUsed float64
+	evicted       float64
+}
+
+// New returns a manager over a pool with the given protected storage region.
+func New(poolMB, protectedMB float64) *Manager {
+	poolMB = units.MaxF(poolMB, 0)
+	return &Manager{
+		PoolMB:      poolMB,
+		ProtectedMB: units.Clamp(protectedMB, 0, poolMB),
+	}
+}
+
+// NewSparkDefault mirrors Spark's default storageFraction of 0.5.
+func NewSparkDefault(poolMB float64) *Manager {
+	return New(poolMB, 0.5*poolMB)
+}
+
+// StorageUsed returns the cached bytes currently held.
+func (m *Manager) StorageUsed() float64 { return m.storageUsed }
+
+// ExecutionUsed returns the execution bytes currently held.
+func (m *Manager) ExecutionUsed() float64 { return m.executionUsed }
+
+// EvictedMB returns the cumulative storage evicted on execution's behalf.
+func (m *Manager) EvictedMB() float64 { return m.evicted }
+
+// Free returns the unallocated pool space.
+func (m *Manager) Free() float64 {
+	return units.MaxF(m.PoolMB-m.storageUsed-m.executionUsed, 0)
+}
+
+// AcquireStorage grants up to mb of storage. Storage may fill any free
+// space (including unused execution territory) but cannot displace granted
+// execution memory; the grant may be partial or zero.
+func (m *Manager) AcquireStorage(mb float64) float64 {
+	if mb <= 0 {
+		return 0
+	}
+	granted := units.MinF(mb, m.Free())
+	m.storageUsed += granted
+	return granted
+}
+
+// AcquireExecution grants up to mb of execution memory, evicting cached
+// blocks above the protected region if needed. The grant may be partial.
+func (m *Manager) AcquireExecution(mb float64) float64 {
+	if mb <= 0 {
+		return 0
+	}
+	granted := units.MinF(mb, m.Free())
+	m.executionUsed += granted
+	mb -= granted
+
+	if mb > 0 {
+		// Evict storage above the protected region.
+		evictable := units.MaxF(m.storageUsed-m.ProtectedMB, 0)
+		take := units.MinF(mb, evictable)
+		m.storageUsed -= take
+		m.evicted += take
+		m.executionUsed += take
+		granted += take
+	}
+	return granted
+}
+
+// ReleaseExecution returns execution memory to the pool.
+func (m *Manager) ReleaseExecution(mb float64) {
+	m.executionUsed = units.Clamp(m.executionUsed-mb, 0, m.PoolMB)
+}
+
+// ReleaseStorage drops cached bytes (block eviction or unpersist).
+func (m *Manager) ReleaseStorage(mb float64) {
+	m.storageUsed = units.Clamp(m.storageUsed-mb, 0, m.PoolMB)
+}
+
+// ExecutionShare answers the planning question the execution engine asks:
+// with storageMB currently cached, how much execution memory can each of p
+// concurrent tasks obtain? Spark grants each task between pool/(2p) and
+// pool/p of the *evictable* pool; this returns the optimistic fair share.
+func ExecutionShare(poolMB, protectedMB, storageMB float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	keep := units.Clamp(storageMB, 0, units.Clamp(protectedMB, 0, poolMB))
+	avail := units.MaxF(poolMB-keep, 0)
+	return avail / float64(p)
+}

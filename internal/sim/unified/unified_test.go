@@ -1,0 +1,125 @@
+package unified
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStorageFillsFreePool(t *testing.T) {
+	m := NewSparkDefault(1000)
+	if got := m.AcquireStorage(800); got != 800 {
+		t.Fatalf("granted %v", got)
+	}
+	if got := m.AcquireStorage(400); got != 200 {
+		t.Fatalf("overflow grant %v, want the remaining 200", got)
+	}
+	if m.Free() != 0 {
+		t.Fatal("pool should be full")
+	}
+}
+
+func TestExecutionEvictsAboveProtected(t *testing.T) {
+	m := NewSparkDefault(1000) // protected = 500
+	m.AcquireStorage(900)
+	// Execution wants 600: 100 free + evict 400 (down to the protected 500).
+	if got := m.AcquireExecution(600); got != 500 {
+		t.Fatalf("execution granted %v, want 500", got)
+	}
+	if m.StorageUsed() != 500 {
+		t.Fatalf("storage after eviction = %v, want the protected 500", m.StorageUsed())
+	}
+	if m.EvictedMB() != 400 {
+		t.Fatalf("evicted = %v", m.EvictedMB())
+	}
+}
+
+func TestExecutionNeverEvictsProtected(t *testing.T) {
+	m := New(1000, 600)
+	m.AcquireStorage(600)
+	if got := m.AcquireExecution(900); got != 400 {
+		t.Fatalf("execution granted %v, want only the 400 outside protection", got)
+	}
+	if m.StorageUsed() != 600 {
+		t.Fatal("protected storage was evicted")
+	}
+}
+
+func TestStorageCannotDisplaceExecution(t *testing.T) {
+	m := NewSparkDefault(1000)
+	m.AcquireExecution(700)
+	if got := m.AcquireStorage(500); got != 300 {
+		t.Fatalf("storage granted %v, want 300 (execution is never revoked)", got)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	m := NewSparkDefault(1000)
+	m.AcquireExecution(400)
+	m.ReleaseExecution(150)
+	if m.ExecutionUsed() != 250 {
+		t.Fatalf("execution after release = %v", m.ExecutionUsed())
+	}
+	m.AcquireStorage(700)
+	m.ReleaseStorage(1e9) // over-release floors at zero
+	if m.StorageUsed() != 0 {
+		t.Fatal("storage release floor")
+	}
+}
+
+func TestExecutionShare(t *testing.T) {
+	// Empty storage: the whole pool splits across tasks.
+	if s := ExecutionShare(1000, 500, 0, 2); s != 500 {
+		t.Fatalf("share = %v", s)
+	}
+	// Storage beyond the protected region is evictable, so only the
+	// protected part is withheld from execution.
+	if s := ExecutionShare(1000, 500, 900, 2); s != 250 {
+		t.Fatalf("share with evictable storage = %v, want 250", s)
+	}
+	// Defensive p.
+	if s := ExecutionShare(1000, 0, 0, 0); s != 1000 {
+		t.Fatalf("share p=0 = %v", s)
+	}
+}
+
+// Property: the accounting invariant storage+execution ≤ pool always holds,
+// and grants are never negative.
+func TestInvariantProperty(t *testing.T) {
+	f := func(ops [8]uint16) bool {
+		m := NewSparkDefault(1 << 12)
+		for i, raw := range ops {
+			mb := float64(raw % 3000)
+			switch i % 4 {
+			case 0:
+				if m.AcquireStorage(mb) < 0 {
+					return false
+				}
+			case 1:
+				if m.AcquireExecution(mb) < 0 {
+					return false
+				}
+			case 2:
+				m.ReleaseExecution(mb)
+			case 3:
+				m.ReleaseStorage(mb)
+			}
+			if m.StorageUsed()+m.ExecutionUsed() > m.PoolMB+1e-9 {
+				return false
+			}
+			if m.StorageUsed() < 0 || m.ExecutionUsed() < 0 || m.Free() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroPool(t *testing.T) {
+	m := NewSparkDefault(0)
+	if m.AcquireStorage(10) != 0 || m.AcquireExecution(10) != 0 {
+		t.Fatal("zero pool must grant nothing")
+	}
+}

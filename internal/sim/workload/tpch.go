@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// tpchShape captures the resource signature of one TPC-H query at scale
+// factor 50 on Spark SQL: how much of the database it scans, how many
+// shuffle stages (joins/aggregations) it runs, and how shuffle-heavy and
+// CPU-heavy it is relative to its scan. The shapes follow the well-known
+// profile of the benchmark: Q1/Q6 are scan+aggregate, Q2/Q11/Q16 touch the
+// small tables, Q5/Q7/Q8/Q9/Q21 are deep multi-join pipelines over lineitem.
+type tpchShape struct {
+	q           int
+	scanGB      float64 // bytes scanned
+	joins       int     // shuffle stages after the scan
+	shuffleFrac float64 // shuffle volume as a fraction of scan
+	cpuPerMB    float64 // CPU seconds per MB scanned (expression complexity)
+}
+
+var tpchShapes = []tpchShape{
+	{1, 38, 1, 0.02, 0.035},
+	{2, 6, 3, 0.30, 0.030},
+	{3, 42, 2, 0.12, 0.028},
+	{4, 40, 2, 0.08, 0.025},
+	{5, 44, 4, 0.18, 0.032},
+	{6, 38, 0, 0.01, 0.018},
+	{7, 44, 4, 0.20, 0.033},
+	{8, 46, 5, 0.16, 0.034},
+	{9, 48, 5, 0.26, 0.040},
+	{10, 42, 3, 0.15, 0.028},
+	{11, 5, 2, 0.35, 0.026},
+	{12, 40, 1, 0.06, 0.022},
+	{13, 12, 2, 0.25, 0.030},
+	{14, 39, 1, 0.05, 0.022},
+	{15, 39, 2, 0.06, 0.024},
+	{16, 7, 2, 0.28, 0.027},
+	{17, 40, 2, 0.14, 0.036},
+	{18, 46, 3, 0.22, 0.038},
+	{19, 39, 1, 0.08, 0.030},
+	{20, 41, 3, 0.10, 0.028},
+	{21, 48, 4, 0.24, 0.042},
+	{22, 10, 2, 0.20, 0.026},
+}
+
+// TPCHQuery builds the workload model of one TPC-H query (1..22) at scale
+// factor 50 with 128MB partitions (Table 2).
+func TPCHQuery(q int) Spec {
+	if q < 1 || q > len(tpchShapes) {
+		panic(fmt.Sprintf("workload: TPC-H query %d out of range", q))
+	}
+	sh := tpchShapes[q-1]
+	scanMB := sh.scanGB * 1024
+	scanTasks := int(scanMB / 128)
+	if scanTasks < 8 {
+		scanTasks = 8
+	}
+	stages := []StageSpec{{
+		Name:                  "scan",
+		Tasks:                 scanTasks,
+		CPUSecPerTask:         128 * sh.cpuPerMB,
+		CPUCoresPerTask:       1.0,
+		InputMBPerTask:        128,
+		ShuffleWriteMBPerTask: 128 * sh.shuffleFrac,
+		UnmanagedMBPerTask:    190,
+		AllocFactor:           2.2,
+	}}
+	// Each join/aggregation stage halves the data flowing through.
+	vol := scanMB * sh.shuffleFrac
+	for j := 0; j < sh.joins; j++ {
+		tasks := scanTasks / 2
+		if tasks < 8 {
+			tasks = 8
+		}
+		perTask := vol / float64(tasks)
+		stages = append(stages, StageSpec{
+			Name:                  fmt.Sprintf("join-%d", j+1),
+			Tasks:                 tasks,
+			CPUSecPerTask:         perTask * sh.cpuPerMB * 1.6,
+			CPUCoresPerTask:       1.0,
+			ShuffleReadMBPerTask:  perTask,
+			ShuffleNeedMBPerTask:  perTask * 2.1,
+			ShuffleWriteMBPerTask: perTask * 0.5,
+			UnmanagedMBPerTask:    170,
+			AllocFactor:           2.4,
+			NetworkMBPerTask:      perTask * 0.8,
+		})
+		vol *= 0.5
+		scanTasks = tasks
+	}
+	return Spec{
+		Name:           fmt.Sprintf("TPC-H Q%d", q),
+		Category:       "SQL",
+		PartitionMB:    128,
+		CodeOverheadMB: 160,
+		UsesCache:      false,
+		Stages:         stages,
+	}
+}
+
+// TPCH returns all 22 query workloads.
+func TPCH() []Spec {
+	out := make([]Spec, 0, 22)
+	for q := 1; q <= 22; q++ {
+		out = append(out, TPCHQuery(q))
+	}
+	return out
+}

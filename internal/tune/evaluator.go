@@ -1,0 +1,109 @@
+package tune
+
+import (
+	"relm/internal/conf"
+	"relm/internal/profile"
+	"relm/internal/sim"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+)
+
+// Sample is one observed (configuration, performance) pair.
+type Sample struct {
+	Config conf.Config
+	X      []float64 // normalized coordinates
+	// RuntimeSec is the observed wall-clock duration.
+	RuntimeSec float64
+	// Objective is the tuning objective: the runtime, or the abort penalty
+	// (twice the worst runtime observed so far) for failed runs.
+	Objective float64
+	Result    sim.Result
+	Profile   *profile.Profile
+}
+
+// Evaluator runs configurations for the tuning policies and applies the
+// paper's objective conventions. It records every evaluation, which is what
+// the overhead figures (16, 18, 19) report.
+type Evaluator struct {
+	Cluster  cluster.Spec
+	Workload workload.Spec
+	Space    Space
+	Seed     uint64
+
+	history []Sample
+	worst   float64
+}
+
+// NewEvaluator builds an evaluator with a fresh history.
+func NewEvaluator(cl cluster.Spec, wl workload.Spec, seed uint64) *Evaluator {
+	return &Evaluator{
+		Cluster:  cl,
+		Workload: wl,
+		Space:    NewSpace(cl, wl),
+		Seed:     seed,
+	}
+}
+
+// Eval runs one configuration (one stress-test experiment) and records it.
+func (e *Evaluator) Eval(c conf.Config) Sample {
+	res, prof := sim.Run(e.Cluster, e.Workload, c, e.Seed+uint64(len(e.history))*104729)
+	s := Sample{
+		Config:     c,
+		X:          e.Space.Encode(c),
+		RuntimeSec: res.RuntimeSec,
+		Result:     res,
+		Profile:    prof,
+	}
+	if res.RuntimeSec > e.worst {
+		e.worst = res.RuntimeSec
+	}
+	if res.Aborted {
+		// Failed runs rank below everything observed so far (§6.1).
+		s.Objective = 2 * e.worst
+	} else {
+		s.Objective = res.RuntimeSec
+	}
+	e.history = append(e.history, s)
+	return s
+}
+
+// Evals returns the number of experiments run so far.
+func (e *Evaluator) Evals() int { return len(e.history) }
+
+// History returns all recorded samples (shared slice; callers must not
+// mutate).
+func (e *Evaluator) History() []Sample { return e.history }
+
+// Best returns the sample with the lowest objective among non-aborted runs;
+// ok is false when every run aborted or none were taken.
+func (e *Evaluator) Best() (Sample, bool) {
+	var best Sample
+	found := false
+	for _, s := range e.history {
+		if s.Result.Aborted {
+			continue
+		}
+		if !found || s.Objective < best.Objective {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TotalRuntime sums the stress-testing time of all experiments — the
+// training-overhead measure of Figure 16.
+func (e *Evaluator) TotalRuntime() float64 {
+	var t float64
+	for _, s := range e.history {
+		t += s.RuntimeSec
+	}
+	return t
+}
+
+// Reset clears the history (used when a policy is re-run from scratch).
+func (e *Evaluator) Reset(seed uint64) {
+	e.history = nil
+	e.worst = 0
+	e.Seed = seed
+}

@@ -1,0 +1,137 @@
+package tune
+
+import (
+	"sort"
+
+	"relm/internal/conf"
+	"relm/internal/simrand"
+)
+
+// Exhaustive runs the full grid (≈192 configurations) and returns the best
+// non-aborted sample. It is the quality baseline of §6.1, deliberately
+// inefficient.
+func Exhaustive(ev *Evaluator) (Sample, []Sample) {
+	grid := ev.Space.Grid()
+	for _, c := range grid {
+		ev.Eval(c)
+	}
+	best, _ := ev.Best()
+	return best, ev.History()
+}
+
+// TopPercentile returns the runtime threshold under which a configuration
+// ranks within the best pct percent of the non-aborted grid samples — used
+// for the paper's "within top 5 percentile of Exhaustive Search" criterion.
+func TopPercentile(samples []Sample, pct float64) float64 {
+	var runtimes []float64
+	for _, s := range samples {
+		if !s.Result.Aborted {
+			runtimes = append(runtimes, s.RuntimeSec)
+		}
+	}
+	if len(runtimes) == 0 {
+		return 0
+	}
+	sort.Float64s(runtimes)
+	idx := int(pct / 100 * float64(len(runtimes)-1))
+	return runtimes[idx]
+}
+
+// LatinHypercube draws n near-random samples from [0,1]^dim with one sample
+// per stratum in every dimension — the bootstrap sampler of §5.1 (Table 7).
+func LatinHypercube(rng *simrand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+	for d := 0; d < dim; d++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}
+
+// PaperLHS returns the exact four bootstrap samples of Table 7, expressed in
+// a space's configuration terms: containers 1–4 with concurrency, capacity
+// and NewRatio strata as published.
+func PaperLHS(s Space) []conf.Config {
+	rows := []struct {
+		n, p int
+		cap  float64
+		nr   int
+	}{
+		{1, 4, 0.6, 7},
+		{2, 1, 0.4, 3},
+		{3, 2, 0.2, 5},
+		{4, 2, 0.8, 1},
+	}
+	out := make([]conf.Config, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, s.Build(r.n, r.p, r.cap, r.nr))
+	}
+	return out
+}
+
+// RecursiveRandomSearch implements the Elastisizer-style baseline (§5): it
+// samples the space randomly, identifies the most promising region, and
+// recursively shrinks the sampling box around the incumbent.
+func RecursiveRandomSearch(ev *Evaluator, rng *simrand.Rand, budget int) (Sample, []Sample) {
+	dim := ev.Space.Dim()
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := range hi {
+		hi[d] = 1
+	}
+	var best Sample
+	found := false
+	perRound := 4
+	for ev.Evals() < budget {
+		var roundBest Sample
+		roundFound := false
+		for i := 0; i < perRound && ev.Evals() < budget; i++ {
+			x := make([]float64, dim)
+			for d := range x {
+				x[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+			}
+			s := ev.Eval(ev.Space.Decode(x))
+			if !s.Result.Aborted && (!roundFound || s.Objective < roundBest.Objective) {
+				roundBest, roundFound = s, true
+			}
+		}
+		if roundFound && (!found || roundBest.Objective < best.Objective) {
+			best, found = roundBest, true
+			// Shrink the box around the incumbent.
+			for d := range lo {
+				c := best.X[d]
+				w := (hi[d] - lo[d]) * 0.35
+				lo[d] = maxf(0, c-w)
+				hi[d] = minf(1, c+w)
+			}
+		} else {
+			// Restart from the full box to escape a bad region.
+			for d := range lo {
+				lo[d], hi[d] = 0, 1
+			}
+		}
+	}
+	if !found {
+		best, _ = ev.Best()
+	}
+	return best, ev.History()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

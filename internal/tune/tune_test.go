@@ -1,0 +1,218 @@
+package tune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relm/internal/conf"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/simrand"
+)
+
+func spaceA() Space { return NewSpace(cluster.A(), workload.KMeans()) }
+
+func TestSpaceDefaults(t *testing.T) {
+	sp := spaceA()
+	if !sp.UsesCache {
+		t.Fatal("K-means space must be cache-dominant")
+	}
+	d := sp.Default()
+	if d.CacheCapacity != 0.6 || d.ShuffleCapacity != 0 {
+		t.Fatalf("cache default wrong: %+v", d)
+	}
+	spShuffle := NewSpace(cluster.A(), workload.WordCount())
+	d2 := spShuffle.Default()
+	if d2.ShuffleCapacity != 0.6 || d2.CacheCapacity != 0 {
+		t.Fatalf("shuffle default wrong: %+v", d2)
+	}
+}
+
+func TestDecodeProducesValidConfigs(t *testing.T) {
+	sp := spaceA()
+	f := func(a, b, c, d float64) bool {
+		x := []float64{norm01(a), norm01(b), norm01(c), norm01(d)}
+		cfg := sp.Decode(x)
+		if cfg.Validate() != nil {
+			return false
+		}
+		return cfg.ContainersPerNode >= 1 && cfg.ContainersPerNode <= 4 &&
+			cfg.TaskConcurrency >= 1 &&
+			cfg.TaskConcurrency <= sp.MaxConcurrency(cfg.ContainersPerNode) &&
+			cfg.NewRatio >= 1 && cfg.NewRatio <= 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func norm01(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(v, 1))
+}
+
+// Property: Decode(Encode(c)) round-trips for grid configurations.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sp := spaceA()
+	for _, cfg := range sp.Grid() {
+		back := sp.Decode(sp.Encode(cfg))
+		if back != cfg {
+			t.Fatalf("round trip failed: %v → %v", cfg, back)
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	sp := spaceA()
+	grid := sp.Grid()
+	if len(grid) == 0 || len(grid) > 192 {
+		t.Fatalf("grid size = %d, want (0,192]", len(grid))
+	}
+	seen := map[conf.Config]bool{}
+	for _, c := range grid {
+		if seen[c] {
+			t.Fatalf("duplicate grid config %v", c)
+		}
+		seen[c] = true
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid grid config %v: %v", c, err)
+		}
+		if c.ShuffleCapacity != sp.MinorPool {
+			t.Fatalf("minor pool not pinned: %v", c)
+		}
+	}
+}
+
+func TestPaperLHSMatchesTable7(t *testing.T) {
+	sp := spaceA()
+	samples := PaperLHS(sp)
+	if len(samples) != 4 {
+		t.Fatalf("LHS bootstrap size = %d", len(samples))
+	}
+	// Table 7 rows: (n, p, capacity, NR).
+	want := []conf.Config{
+		{ContainersPerNode: 1, TaskConcurrency: 4, CacheCapacity: 0.6, ShuffleCapacity: 0.1, NewRatio: 7, SurvivorRatio: 8},
+		{ContainersPerNode: 2, TaskConcurrency: 1, CacheCapacity: 0.4, ShuffleCapacity: 0.1, NewRatio: 3, SurvivorRatio: 8},
+		{ContainersPerNode: 3, TaskConcurrency: 2, CacheCapacity: 0.2, ShuffleCapacity: 0.1, NewRatio: 5, SurvivorRatio: 8},
+		{ContainersPerNode: 4, TaskConcurrency: 2, CacheCapacity: 0.8, ShuffleCapacity: 0.1, NewRatio: 1, SurvivorRatio: 8},
+	}
+	for i, w := range want {
+		if samples[i] != w {
+			t.Errorf("LHS[%d] = %v, want %v", i, samples[i], w)
+		}
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	rng := simrand.New(1)
+	n, dim := 8, 3
+	xs := LatinHypercube(rng, n, dim)
+	for d := 0; d < dim; d++ {
+		seen := make([]bool, n)
+		for _, x := range xs {
+			stratum := int(x[d] * float64(n))
+			if stratum == n {
+				stratum = n - 1
+			}
+			if seen[stratum] {
+				t.Fatalf("dimension %d: stratum %d sampled twice", d, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestEvaluatorObjectivePenalty(t *testing.T) {
+	// K-means at 4 containers per node aborts (§3.1); the objective must be
+	// twice the worst runtime seen so far, not the raw runtime.
+	ev := NewEvaluator(cluster.A(), workload.KMeans(), 1)
+	good := ev.Eval(conf.Default())
+	if good.Result.Aborted {
+		t.Skip("default run aborted under this seed")
+	}
+	bad := conf.Default()
+	bad.ContainersPerNode = 4
+	var abortSample Sample
+	found := false
+	for i := 0; i < 6; i++ {
+		s := ev.Eval(bad)
+		if s.Result.Aborted {
+			abortSample, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no abort observed")
+	}
+	if abortSample.Objective <= abortSample.RuntimeSec {
+		t.Fatal("aborted objective must be penalized above its runtime")
+	}
+}
+
+func TestEvaluatorBookkeeping(t *testing.T) {
+	ev := NewEvaluator(cluster.A(), workload.SVM(), 3)
+	ev.Eval(conf.Default())
+	ev.Eval(conf.Default())
+	if ev.Evals() != 2 || len(ev.History()) != 2 {
+		t.Fatal("history bookkeeping wrong")
+	}
+	if ev.TotalRuntime() <= 0 {
+		t.Fatal("total runtime must accumulate")
+	}
+	best, ok := ev.Best()
+	if !ok || best.RuntimeSec <= 0 {
+		t.Fatal("best missing")
+	}
+	ev.Reset(9)
+	if ev.Evals() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestExhaustiveFindsBest(t *testing.T) {
+	ev := NewEvaluator(cluster.A(), workload.SVM(), 5)
+	best, samples := Exhaustive(ev)
+	if len(samples) != len(ev.Space.Grid()) {
+		t.Fatalf("exhaustive ran %d of %d configs", len(samples), len(ev.Space.Grid()))
+	}
+	for _, s := range samples {
+		if !s.Result.Aborted && s.RuntimeSec < best.RuntimeSec {
+			t.Fatalf("exhaustive missed a better sample: %v < %v", s.RuntimeSec, best.RuntimeSec)
+		}
+	}
+	// The best configuration should beat the default comfortably.
+	def := ev.Eval(ev.Space.Default())
+	if best.RuntimeSec >= def.RuntimeSec {
+		t.Fatal("exhaustive best should beat the default")
+	}
+}
+
+func TestTopPercentile(t *testing.T) {
+	samples := []Sample{
+		{RuntimeSec: 100}, {RuntimeSec: 200}, {RuntimeSec: 300}, {RuntimeSec: 400},
+	}
+	if v := TopPercentile(samples, 0); v != 100 {
+		t.Fatalf("p0 = %v", v)
+	}
+	if v := TopPercentile(samples, 100); v != 400 {
+		t.Fatalf("p100 = %v", v)
+	}
+	if TopPercentile(nil, 5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestRecursiveRandomSearchBudget(t *testing.T) {
+	ev := NewEvaluator(cluster.A(), workload.WordCount(), 7)
+	rng := simrand.New(7)
+	best, hist := RecursiveRandomSearch(ev, rng, 10)
+	if len(hist) > 10 {
+		t.Fatalf("budget exceeded: %d evals", len(hist))
+	}
+	if best.RuntimeSec <= 0 {
+		t.Fatal("no best found")
+	}
+}

@@ -1,0 +1,84 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMBString(t *testing.T) {
+	cases := []struct {
+		mb   float64
+		want string
+	}{
+		{2048, "2.00GB"},
+		{1024, "1.00GB"},
+		{512, "512MB"},
+		{1, "1MB"},
+		{0.5, "512KB"},
+	}
+	for _, c := range cases {
+		if got := MBString(c.mb); got != c.want {
+			t.Errorf("MBString(%v) = %q, want %q", c.mb, got, c.want)
+		}
+	}
+}
+
+func TestMinutes(t *testing.T) {
+	if got := Minutes(120); got != 2 {
+		t.Fatalf("Minutes(120) = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if got := ClampInt(9, 1, 4); got != 4 {
+		t.Errorf("ClampInt above = %d", got)
+	}
+	if got := ClampInt(0, 1, 4); got != 1 {
+		t.Errorf("ClampInt below = %d", got)
+	}
+	if got := ClampInt(3, 1, 4); got != 3 {
+		t.Errorf("ClampInt inside = %d", got)
+	}
+}
+
+func TestMaxMinF(t *testing.T) {
+	if MaxF(2, 3) != 3 || MaxF(3, 2) != 3 {
+		t.Error("MaxF wrong")
+	}
+	if MinF(2, 3) != 2 || MinF(3, 2) != 2 {
+		t.Error("MinF wrong")
+	}
+}
+
+// Property: Clamp output is always within bounds and idempotent.
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		c := Clamp(v, -1, 1)
+		return c >= -1 && c <= 1 && Clamp(c, -1, 1) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: units relate correctly (GB = 1024 MB = 1024² KB).
+func TestUnitRelations(t *testing.T) {
+	if GB != 1024*MB {
+		t.Error("GB != 1024 MB")
+	}
+	if MB != 1024*KB {
+		t.Error("MB != 1024 KB")
+	}
+}

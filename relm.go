@@ -1,0 +1,195 @@
+// Package relm is a from-scratch Go reproduction of "Black or White? How to
+// Develop an AutoTuner for Memory-based Analytics" (Kunjir & Babu, SIGMOD
+// 2020): the RelM white-box memory autotuner, Guided Bayesian Optimization
+// (GBO), and the black-box baselines (Bayesian Optimization with a
+// Gaussian-Process surrogate, DDPG deep reinforcement learning, exhaustive
+// grid search, recursive random search), evaluated on a discrete-event
+// simulator of a memory-based analytics cluster (YARN-style containers, a
+// ParallelGC JVM heap model, and a Spark-like execution engine).
+//
+// This root package is the public facade. The typical flow:
+//
+//	cl := relm.ClusterA()
+//	wl, _ := relm.WorkloadByName("PageRank")
+//	ev := relm.NewEvaluator(cl, wl, 1)
+//
+//	tuner := relm.NewRelM(cl)
+//	cfg, candidates, err := tuner.TuneWorkload(ev)
+//
+// or, for black-box tuning:
+//
+//	res := relm.RunBO(ev, relm.BOOptions{Seed: 1}) // or RunGBO / RunDDPG
+//
+// Every experiment of the paper can be regenerated through
+// relm.RunExperiment (see also cmd/experiments).
+package relm
+
+import (
+	"fmt"
+	"io"
+
+	"relm/internal/bo"
+	"relm/internal/conf"
+	"relm/internal/core"
+	"relm/internal/ddpg"
+	"relm/internal/experiments"
+	"relm/internal/gbo"
+	"relm/internal/profile"
+	"relm/internal/sim"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/tune"
+)
+
+// Config is one point of the memory-configuration space (Table 1).
+type Config = conf.Config
+
+// DefaultConfig returns the MaxResourceAllocation + framework defaults
+// (Table 4) for caching workloads.
+func DefaultConfig() Config { return conf.Default() }
+
+// DefaultShuffleConfig is DefaultConfig with the unified pool attributed to
+// shuffle, for non-caching workloads.
+func DefaultShuffleConfig() Config { return conf.DefaultShuffle() }
+
+// Cluster describes the physical resources of a cluster.
+type Cluster = cluster.Spec
+
+// ClusterA returns the paper's 8-node, 6GB-per-node evaluation cluster.
+func ClusterA() Cluster { return cluster.A() }
+
+// ClusterB returns the paper's 4-node, 32GB-per-node virtual cluster.
+func ClusterB() Cluster { return cluster.B() }
+
+// Workload is an application's resource signature.
+type Workload = workload.Spec
+
+// Workloads returns the five non-SQL benchmark applications of Table 2.
+func Workloads() []Workload { return workload.Benchmarks() }
+
+// TPCHWorkloads returns the 22 TPC-H query workloads.
+func TPCHWorkloads() []Workload { return workload.TPCH() }
+
+// WorkloadByName resolves a workload by its Table 2 name ("WordCount",
+// "SortByKey", "K-means", "SVM", "PageRank", or "TPC-H Qn").
+func WorkloadByName(name string) (Workload, error) {
+	wl, ok := workload.ByName(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("relm: unknown workload %q", name)
+	}
+	return wl, nil
+}
+
+// Result is the outcome of one simulated application run.
+type Result = sim.Result
+
+// Profile is the profiling artifact of one run (timelines + event logs).
+type Profile = profile.Profile
+
+// Stats are the Table 6 statistics derived from a profile.
+type Stats = profile.Stats
+
+// Simulate executes one run of a workload under a configuration.
+func Simulate(cl Cluster, wl Workload, cfg Config, seed uint64) (Result, *Profile) {
+	return sim.Run(cl, wl, cfg, seed)
+}
+
+// GenerateStats derives the Table 6 statistics from a profile (§4.1).
+func GenerateStats(p *Profile) Stats { return profile.Generate(p) }
+
+// Evaluator runs configurations for the tuning policies with the paper's
+// objective conventions (abort penalty = 2× worst runtime so far).
+type Evaluator = tune.Evaluator
+
+// Sample is one observed (configuration, performance) pair.
+type Sample = tune.Sample
+
+// NewEvaluator builds an evaluation harness for a (cluster, workload) pair.
+func NewEvaluator(cl Cluster, wl Workload, seed uint64) *Evaluator {
+	return tune.NewEvaluator(cl, wl, seed)
+}
+
+// RelMTuner is the paper's white-box tuner (§4).
+type RelMTuner = core.Tuner
+
+// Candidate is one arbitrated per-container-size configuration.
+type Candidate = core.Candidate
+
+// NewRelM returns a RelM tuner with the paper's default options (δ = 0.1,
+// NewRatio ≤ 9).
+func NewRelM(cl Cluster) *RelMTuner { return core.New(cl) }
+
+// BOOptions configures Bayesian Optimization (§5.1).
+type BOOptions = bo.Options
+
+// BOResult reports one optimization run.
+type BOResult = bo.Result
+
+// RunBO runs vanilla Bayesian Optimization against an evaluator.
+func RunBO(ev *Evaluator, opts BOOptions) BOResult {
+	return bo.Run(ev, opts, nil)
+}
+
+// GBOModel is the white-box guide model Q of §5.2.
+type GBOModel = gbo.Model
+
+// RunGBO runs Guided Bayesian Optimization; the guide model is built from
+// the first bootstrap sample's profile.
+func RunGBO(ev *Evaluator, opts BOOptions) (BOResult, *GBOModel) {
+	return gbo.Run(ev, opts)
+}
+
+// DDPGAgent is the deep reinforcement-learning agent of §5.3.
+type DDPGAgent = ddpg.Agent
+
+// DDPGOptions configures the RL tuning loop.
+type DDPGOptions = ddpg.TuneOptions
+
+// DDPGResult reports one RL tuning run.
+type DDPGResult = ddpg.TuneResult
+
+// RunDDPG runs DDPG tuning; pass a previously returned agent to re-use a
+// trained model on a new environment (§6.6), or nil to start fresh.
+func RunDDPG(ev *Evaluator, agent *DDPGAgent, opts DDPGOptions) DDPGResult {
+	return ddpg.Tune(ev, agent, opts)
+}
+
+// ExhaustiveSearch runs the full 192-configuration grid (§6.1's baseline).
+func ExhaustiveSearch(ev *Evaluator) (Sample, []Sample) {
+	return tune.Exhaustive(ev)
+}
+
+// ModelRepository stores completed tuning sessions keyed by workload
+// fingerprints for OtterTune-style model re-use (§6.6).
+type ModelRepository = bo.Repository
+
+// RunBOWithReuse profiles the workload, matches it against the repository by
+// fingerprint distance, warm-starts the optimizer on a hit, and records the
+// session. It reports whether a previous model was re-used.
+func RunBOWithReuse(ev *Evaluator, opts BOOptions, repo *ModelRepository, maxDistance float64) (BOResult, bool) {
+	return bo.RunWithReuse(ev, opts, repo, maxDistance)
+}
+
+// GBOMetricRegistry manages the guide metrics of model Q: the built-in
+// q1–q3 plus user extensions, ranked by importance and filtered for
+// independence (§5.2's extension mechanism).
+type GBOMetricRegistry = gbo.Registry
+
+// NewGBOMetricRegistry returns a registry holding the Equation 8 metrics.
+func NewGBOMetricRegistry() *GBOMetricRegistry { return gbo.NewRegistry() }
+
+// LoadDDPGAgent restores an agent saved with (*DDPGAgent).Save, enabling
+// cross-session and cross-environment model re-use (Figure 27).
+func LoadDDPGAgent(r io.Reader) (*DDPGAgent, error) { return ddpg.Load(r) }
+
+// ExperimentConfig controls a paper-experiment run.
+type ExperimentConfig = experiments.Config
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures; the
+// returned value's String renders it in the paper's layout.
+func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
+	return experiments.Run(id, cfg)
+}

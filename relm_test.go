@@ -1,0 +1,99 @@
+package relm_test
+
+import (
+	"strings"
+	"testing"
+
+	"relm"
+)
+
+func TestPublicAPISimulate(t *testing.T) {
+	wl, err := relm.WorkloadByName("K-means")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof := relm.Simulate(relm.ClusterA(), wl, relm.DefaultConfig(), 1)
+	if res.RuntimeSec <= 0 || prof == nil {
+		t.Fatal("simulation failed")
+	}
+	st := relm.GenerateStats(prof)
+	if st.MhMB != 4404 {
+		t.Fatalf("stats heap = %v", st.MhMB)
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if len(relm.Workloads()) != 5 {
+		t.Fatal("five benchmark workloads expected")
+	}
+	if len(relm.TPCHWorkloads()) != 22 {
+		t.Fatal("22 TPC-H queries expected")
+	}
+	if _, err := relm.WorkloadByName("unknown"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestPublicAPIRelMPipeline(t *testing.T) {
+	wl, _ := relm.WorkloadByName("PageRank")
+	ev := relm.NewEvaluator(relm.ClusterA(), wl, 1)
+	tuner := relm.NewRelM(relm.ClusterA())
+	cfg, cands, err := tuner.TuneWorkload(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("recommendation invalid: %v", err)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want one per container size", len(cands))
+	}
+	res, _ := relm.Simulate(relm.ClusterA(), wl, cfg, 99)
+	if res.Aborted {
+		t.Fatal("RelM recommendation aborted")
+	}
+}
+
+func TestPublicAPIBlackBoxTuners(t *testing.T) {
+	wl, _ := relm.WorkloadByName("SVM")
+	ev := relm.NewEvaluator(relm.ClusterA(), wl, 2)
+	bo := relm.RunBO(ev, relm.BOOptions{Seed: 2, MaxIterations: 3, MinNewSamples: 1})
+	if !bo.Found {
+		t.Fatal("BO found nothing")
+	}
+
+	ev2 := relm.NewEvaluator(relm.ClusterA(), wl, 3)
+	gboRes, model := relm.RunGBO(ev2, relm.BOOptions{Seed: 3, MaxIterations: 3, MinNewSamples: 1})
+	if !gboRes.Found || model == nil {
+		t.Fatal("GBO failed")
+	}
+
+	ev3 := relm.NewEvaluator(relm.ClusterA(), wl, 4)
+	dd := relm.RunDDPG(ev3, nil, relm.DDPGOptions{MaxSteps: 3, Seed: 4})
+	if !dd.Found || dd.Agent == nil {
+		t.Fatal("DDPG failed")
+	}
+}
+
+func TestPublicAPIExhaustive(t *testing.T) {
+	wl, _ := relm.WorkloadByName("WordCount")
+	ev := relm.NewEvaluator(relm.ClusterA(), wl, 5)
+	best, samples := relm.ExhaustiveSearch(ev)
+	if len(samples) == 0 || best.RuntimeSec <= 0 {
+		t.Fatal("exhaustive search failed")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := relm.ExperimentIDs()
+	if len(ids) < 25 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	out, err := relm.RunExperiment("table6", relm.ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 6") {
+		t.Fatal("table6 output malformed")
+	}
+}
