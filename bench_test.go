@@ -10,6 +10,7 @@
 package relm_test
 
 import (
+	"math"
 	"testing"
 
 	"relm"
@@ -145,6 +146,47 @@ func BenchmarkDDPGStep(b *testing.B) {
 		res := relm.RunDDPG(ev, nil, relm.DDPGOptions{MaxSteps: 2, Seed: uint64(i)})
 		if !res.Found {
 			b.Fatal("DDPG found nothing")
+		}
+	}
+}
+
+// BenchmarkServiceSuggestObserve measures one suggest+observe round trip
+// through the tuning service's session manager (lookup, locking, objective
+// bookkeeping, surrogate update) — the per-request cost baseline for the
+// HTTP API, excluding network and JSON. Sessions are recycled every 16
+// observations so the surrogate-fit cost stays representative of a live
+// session rather than growing cubically with history length.
+func BenchmarkServiceSuggestObserve(b *testing.B) {
+	m := relm.NewServiceManager(relm.ServiceOptions{Workers: 1})
+	defer m.Close()
+
+	var id string
+	newSession := func() {
+		st, err := m.Create(relm.SessionSpec{Backend: "bo", Workload: "SVM", Seed: 1, MaxIterations: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id = st.ID
+	}
+	newSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, done, err := m.Suggest(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			_ = m.CloseSession(id)
+			newSession()
+			continue
+		}
+		rt := 100 + 10*math.Sin(float64(i))
+		if _, err := m.Observe(id, relm.SessionObservation{Config: cfg, RuntimeSec: rt}); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%16 == 0 {
+			_ = m.CloseSession(id)
+			newSession()
 		}
 	}
 }

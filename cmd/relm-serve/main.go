@@ -1,0 +1,78 @@
+// Command relm-serve runs the tuning service: a long-lived HTTP server
+// multiplexing concurrent tuning sessions over every policy in the
+// repository (RelM, BO, GBO, DDPG). Remote clients drive the
+// suggest/observe loop with real measurements; auto-mode sessions are
+// driven by the server's worker pool on the simulator.
+//
+// Usage:
+//
+//	relm-serve [-addr :8080] [-workers 4] [-ttl 30m] [-max-sessions 4096]
+//
+// One full remote tuning loop:
+//
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	    -d '{"backend":"gbo","workload":"K-means","cluster":"A","seed":1}'
+//	curl -s -X POST localhost:8080/v1/sessions/sess-1/suggest
+//	curl -s -X POST localhost:8080/v1/sessions/sess-1/observe \
+//	    -d '{"config":{...},"runtime_sec":212.4}'
+//	curl -s localhost:8080/v1/sessions/sess-1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relm/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 4, "auto-tuning worker pool size")
+		ttl         = flag.Duration("ttl", 30*time.Minute, "idle-session eviction TTL")
+		maxSessions = flag.Int("max-sessions", 4096, "live-session limit")
+	)
+	flag.Parse()
+
+	m := service.NewManager(service.Options{
+		TTL:         *ttl,
+		Workers:     *workers,
+		MaxSessions: *maxSessions,
+	})
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(m),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("relm-serve listening on %s (workers=%d ttl=%s)", *addr, *workers, *ttl)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module relm
+
+go 1.24

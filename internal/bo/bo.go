@@ -95,123 +95,29 @@ type Result struct {
 	FinalModel Surrogate
 }
 
-// Run optimizes the evaluator's workload. Each Eval is one stress-test
-// experiment on the (simulated) cluster. extra and penalty may be nil.
+// Run optimizes the evaluator's workload by driving the incremental Tuner
+// to completion. Each Eval is one stress-test experiment on the (simulated)
+// cluster. extra and penalty may be nil.
 func Run(ev *tune.Evaluator, opts Options, extra Extra, penalty ...Penalty) Result {
-	opts.fill()
-	rng := simrand.New(opts.Seed ^ 0x9e3779b97f4a7c15)
-	sp := ev.Space
-
 	var pen Penalty
 	if len(penalty) > 0 {
 		pen = penalty[0]
 	}
-
-	features := func(x []float64, cfg conf.Config) []float64 {
-		if extra == nil {
-			return x
-		}
-		return append(append([]float64(nil), x...), extra(x, cfg)...)
-	}
-
-	var res Result
-	seen := map[conf.Config]bool{}
-	var rawXs [][]float64
-	var cfgs []conf.Config
-	var ys []float64
-
-	observe := func(cfg conf.Config) tune.Sample {
-		s := ev.Eval(cfg)
-		seen[cfg] = true
-		rawXs = append(rawXs, s.X)
-		cfgs = append(cfgs, cfg)
-		ys = append(ys, s.Objective)
-		if !s.Result.Aborted && (!res.Found || s.Objective < res.Best.Objective) {
-			res.Best, res.Found = s, true
-		}
-		cur := math.Inf(1)
-		if res.Found {
-			cur = res.Best.Objective
-		}
-		res.Curve = append(res.Curve, cur)
-		return s
-	}
-
-	// --- Bootstrap. ---
-	if opts.UsePaperLHS {
-		for _, cfg := range tune.PaperLHS(sp) {
-			observe(cfg)
-		}
-	} else {
-		for _, x := range tune.LatinHypercube(rng, opts.InitSamples, sp.Dim()) {
-			observe(sp.Decode(x))
-		}
-	}
-
-	fit := opts.Fit
-	if fit == nil {
-		kernel := opts.Kernel
-		baseDims := sp.Dim()
-		fit = func(xs [][]float64, ys []float64) (Surrogate, error) {
-			return gp.FitBestGrouped(kernel, xs, ys, baseDims)
-		}
-	}
-
-	// Prior observations (model re-use) mark their configurations as seen so
-	// the acquisition proposes genuinely new points.
-	for _, p := range opts.Prior {
-		seen[p.Cfg] = true
-	}
-
-	// --- Adaptive sampling. ---
-	newSamples := 0
-	for newSamples < opts.MaxIterations {
-		// Feature vectors are rebuilt each round so an Extra that matured
-		// after the first profile applies to the bootstrap samples too.
-		feats := make([][]float64, 0, len(opts.Prior)+len(rawXs))
-		fitYs := make([]float64, 0, len(opts.Prior)+len(ys))
-		for _, p := range opts.Prior {
-			feats = append(feats, features(p.X, p.Cfg))
-			fitYs = append(fitYs, p.Y)
-		}
-		for i := range rawXs {
-			feats = append(feats, features(rawXs[i], cfgs[i]))
-			fitYs = append(fitYs, ys[i])
-		}
-		model, err := fit(feats, fitYs)
-		if err != nil {
-			break
-		}
-		res.FinalModel = model
-
-		// The incumbent for the EI criterion includes (rescaled) prior
-		// observations: with a trusted warm start, marginal improvements
-		// over what the prior already located are not worth new experiments.
-		tau := bestObjective(ys)
-		for _, p := range opts.Prior {
-			if p.Y < tau {
-				tau = p.Y
-			}
-		}
-		x, ei := maximizeEI(model, sp, features, pen, tau, rng, seen)
-		if x == nil {
-			break
-		}
-		// Stopping rule: enough new samples and the expected improvement is
-		// marginal relative to the incumbent.
-		if newSamples >= opts.MinNewSamples && ei < opts.EIFraction*tau {
-			break
-		}
-		observe(sp.Decode(x))
-		newSamples++
-	}
-	res.Iterations = newSamples
+	t := NewTuner(ev.Space, opts, extra, pen)
+	tune.Drive(t, ev, 0)
+	res := t.Result()
 	if !res.Found {
 		if best, ok := ev.Best(); ok {
 			res.Best, res.Found = best, true
 		}
 	}
 	return res
+}
+
+// fitDefault is the standard surrogate: a grid-tuned Gaussian Process with
+// grouped length-scales over the base knob dimensions.
+func fitDefault(kernel string, xs [][]float64, ys []float64, baseDims int) (Surrogate, error) {
+	return gp.FitBestGrouped(kernel, xs, ys, baseDims)
 }
 
 func bestObjective(ys []float64) float64 {

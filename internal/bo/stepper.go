@@ -1,0 +1,222 @@
+package bo
+
+import (
+	"math"
+
+	"relm/internal/conf"
+	"relm/internal/simrand"
+	"relm/internal/tune"
+)
+
+// Tuner is the incremental (steppable) form of Bayesian Optimization: the
+// Run loop inverted behind the unified tune.Tuner interface. The caller
+// drives the suggest/observe cycle, so observations may come from the
+// simulator, from a remote client reporting real measurements, or from a
+// replayed history. The next suggestion and the stopping decision are
+// computed eagerly after each observation, reproducing Run's exact
+// fit/acquisition sequence (and therefore its results) when driven in
+// lockstep.
+type Tuner struct {
+	sp    tune.Space
+	opts  Options
+	extra Extra
+	pen   Penalty
+	rng   *simrand.Rand
+	fit   SurrogateFit
+
+	queue []conf.Config // bootstrap configurations not yet suggested
+
+	seen  map[conf.Config]bool
+	rawXs [][]float64
+	cfgs  []conf.Config
+	ys    []float64
+
+	best  tune.Sample
+	found bool
+	curve []float64
+	model Surrogate
+
+	newSamples      int
+	pending         *conf.Config
+	pendingAdaptive bool
+	done            bool
+}
+
+var _ tune.Tuner = (*Tuner)(nil)
+
+// NewTuner builds an incremental Bayesian optimizer over a configuration
+// space. extra and penalty may be nil (vanilla BO); package gbo supplies
+// them to obtain guided BO.
+func NewTuner(sp tune.Space, opts Options, extra Extra, penalty Penalty) *Tuner {
+	opts.fill()
+	t := &Tuner{
+		sp:    sp,
+		opts:  opts,
+		extra: extra,
+		pen:   penalty,
+		rng:   simrand.New(opts.Seed ^ 0x9e3779b97f4a7c15),
+		seen:  map[conf.Config]bool{},
+	}
+
+	if opts.UsePaperLHS {
+		t.queue = append(t.queue, tune.PaperLHS(sp)...)
+	} else {
+		for _, x := range tune.LatinHypercube(t.rng, opts.InitSamples, sp.Dim()) {
+			t.queue = append(t.queue, sp.Decode(x))
+		}
+	}
+
+	t.fit = opts.Fit
+	if t.fit == nil {
+		kernel := opts.Kernel
+		baseDims := sp.Dim()
+		t.fit = func(xs [][]float64, ys []float64) (Surrogate, error) {
+			return fitDefault(kernel, xs, ys, baseDims)
+		}
+	}
+
+	// Prior observations (model re-use) mark their configurations as seen
+	// so the acquisition proposes genuinely new points.
+	for _, p := range opts.Prior {
+		t.seen[p.Cfg] = true
+	}
+
+	t.advance()
+	return t
+}
+
+// features appends the Extra hook's outputs to the normalized knobs.
+func (t *Tuner) features(x []float64, cfg conf.Config) []float64 {
+	if t.extra == nil {
+		return x
+	}
+	return append(append([]float64(nil), x...), t.extra(x, cfg)...)
+}
+
+// advance computes the next suggestion or fires the stopping rule. It is
+// called from the constructor and after every observation, mirroring one
+// head-of-loop pass of the batch driver: bound the adaptive samples, fit
+// the surrogate, maximize the acquisition, and apply the CherryPick rule.
+func (t *Tuner) advance() {
+	if t.done || t.pending != nil {
+		return
+	}
+	if len(t.queue) > 0 {
+		cfg := t.queue[0]
+		t.queue = t.queue[1:]
+		t.pending, t.pendingAdaptive = &cfg, false
+		return
+	}
+	if t.newSamples >= t.opts.MaxIterations {
+		t.done = true
+		return
+	}
+
+	// Feature vectors are rebuilt each round so an Extra that matured
+	// after the first profile applies to the bootstrap samples too.
+	feats := make([][]float64, 0, len(t.opts.Prior)+len(t.rawXs))
+	fitYs := make([]float64, 0, len(t.opts.Prior)+len(t.ys))
+	for _, p := range t.opts.Prior {
+		feats = append(feats, t.features(p.X, p.Cfg))
+		fitYs = append(fitYs, p.Y)
+	}
+	for i := range t.rawXs {
+		feats = append(feats, t.features(t.rawXs[i], t.cfgs[i]))
+		fitYs = append(fitYs, t.ys[i])
+	}
+	model, err := t.fit(feats, fitYs)
+	if err != nil {
+		t.done = true
+		return
+	}
+	t.model = model
+
+	// The incumbent for the EI criterion includes (rescaled) prior
+	// observations: with a trusted warm start, marginal improvements over
+	// what the prior already located are not worth new experiments.
+	tau := bestObjective(t.ys)
+	for _, p := range t.opts.Prior {
+		if p.Y < tau {
+			tau = p.Y
+		}
+	}
+	x, ei := maximizeEI(model, t.sp, t.features, t.pen, tau, t.rng, t.seen)
+	if x == nil {
+		t.done = true
+		return
+	}
+	// Stopping rule: enough new samples and the expected improvement is
+	// marginal relative to the incumbent.
+	if t.newSamples >= t.opts.MinNewSamples && ei < t.opts.EIFraction*tau {
+		t.done = true
+		return
+	}
+	cfg := t.sp.Decode(x)
+	t.pending, t.pendingAdaptive = &cfg, true
+}
+
+// Suggest returns the next configuration to measure (stable until the next
+// Observe). After Done it returns the best known configuration.
+func (t *Tuner) Suggest() conf.Config {
+	if t.pending != nil {
+		return *t.pending
+	}
+	if t.found {
+		return t.best.Config
+	}
+	return t.sp.Default()
+}
+
+// Observe incorporates one measured sample and eagerly prepares the next
+// suggestion. Samples with no normalized coordinates or objective (remote
+// observations) are completed from Config and RuntimeSec. An unsolicited
+// observation — one that doesn't match the outstanding suggestion — joins
+// the surrogate's data but leaves the suggestion pending, so bootstrap
+// design points are never silently dropped.
+func (t *Tuner) Observe(s tune.Sample) {
+	if s.X == nil {
+		s.X = t.sp.Encode(s.Config)
+	}
+	if s.Objective <= 0 {
+		s.Objective = s.RuntimeSec
+	}
+	wasAdaptive := false
+	if t.pending != nil && s.Config == *t.pending {
+		wasAdaptive = t.pendingAdaptive
+		t.pending, t.pendingAdaptive = nil, false
+	}
+
+	t.seen[s.Config] = true
+	t.rawXs = append(t.rawXs, s.X)
+	t.cfgs = append(t.cfgs, s.Config)
+	t.ys = append(t.ys, s.Objective)
+	if !s.Result.Aborted && (!t.found || s.Objective < t.best.Objective) {
+		t.best, t.found = s, true
+	}
+	cur := math.Inf(1)
+	if t.found {
+		cur = t.best.Objective
+	}
+	t.curve = append(t.curve, cur)
+	if wasAdaptive {
+		t.newSamples++
+	}
+	t.advance()
+}
+
+// Best returns the incumbent non-aborted sample.
+func (t *Tuner) Best() (tune.Sample, bool) { return t.best, t.found }
+
+// Done reports whether the stopping rule has fired.
+func (t *Tuner) Done() bool { return t.done }
+
+// Result assembles the batch-style report from the steps taken so far.
+func (t *Tuner) Result() Result {
+	return Result{
+		Best:       t.best,
+		Found:      t.found,
+		Iterations: t.newSamples,
+		Curve:      append([]float64(nil), t.curve...),
+		FinalModel: t.model,
+	}
+}

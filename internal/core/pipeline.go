@@ -13,18 +13,11 @@ import (
 // of which raise GC pressure), then recommend analytically. RelM's entire
 // stress-testing overhead is the one or two profiling runs.
 func (t *Tuner) TuneWorkload(ev *tune.Evaluator) (conf.Config, []Candidate, error) {
-	def := ev.Space.Default()
-	sample := ev.Eval(def)
-	st := profile.Generate(sample.Profile)
-
-	if !st.HadFullGC {
-		re := reprofileConfig(def, ev.Space)
-		sample2 := ev.Eval(re)
-		if st2 := profile.Generate(sample2.Profile); st2.HadFullGC {
-			st = st2
-		}
+	inc := t.Incremental(ev.Space)
+	for !inc.Done() && !inc.HasRecommendation() {
+		inc.Observe(ev.Eval(inc.Suggest()))
 	}
-	return t.Recommend(st)
+	return inc.Recommendation()
 }
 
 // reprofileConfig applies the full-GC-inducing heuristics: halve the heap

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/tune"
+)
+
+// TestIncrementalMatchesTuneWorkload: the steppable RelM adapter must
+// produce the same recommendation as the batch pipeline and then suggest it
+// once as a verification run.
+func TestIncrementalMatchesTuneWorkload(t *testing.T) {
+	cl := cluster.A()
+	for _, wlName := range []string{"PageRank", "WordCount"} {
+		wl, _ := workload.ByName(wlName)
+
+		evBatch := tune.NewEvaluator(cl, wl, 3)
+		tuner := New(cl)
+		cfgBatch, _, errBatch := tuner.TuneWorkload(evBatch)
+
+		evStep := tune.NewEvaluator(cl, wl, 3)
+		inc := New(cl).Incremental(evStep.Space)
+		steps := 0
+		for !inc.Done() && steps < 10 {
+			inc.Observe(evStep.Eval(inc.Suggest()))
+			steps++
+		}
+		cfgStep, cands, errStep := inc.Recommendation()
+
+		if (errBatch == nil) != (errStep == nil) {
+			t.Fatalf("%s: errors diverged: %v vs %v", wlName, errBatch, errStep)
+		}
+		if errBatch != nil {
+			continue
+		}
+		if cfgBatch != cfgStep {
+			t.Fatalf("%s: recommendation diverged: %v vs %v", wlName, cfgBatch, cfgStep)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("%s: no candidates", wlName)
+		}
+
+		// The incremental form runs one extra experiment: the verification
+		// run of the recommendation itself.
+		if got, want := evStep.Evals(), evBatch.Evals()+1; got != want {
+			t.Fatalf("%s: evals = %d, want %d (profiles + verification)", wlName, got, want)
+		}
+		last := evStep.History()[evStep.Evals()-1]
+		if last.Config != cfgStep {
+			t.Fatalf("%s: last experiment %v is not the recommendation %v", wlName, last.Config, cfgStep)
+		}
+		if _, ok := inc.Best(); !ok {
+			t.Fatalf("%s: no best recorded", wlName)
+		}
+	}
+}
+
+// TestIncrementalWithoutStats fails fast when observations carry no
+// profile statistics (RelM is white-box).
+func TestIncrementalWithoutStats(t *testing.T) {
+	cl := cluster.A()
+	wl, _ := workload.ByName("PageRank")
+	inc := New(cl).Incremental(tune.NewSpace(cl, wl))
+
+	cfg := inc.Suggest()
+	inc.Observe(tune.Sample{Config: cfg, RuntimeSec: 100})
+	if !inc.Done() {
+		t.Fatal("should be done after statless observation")
+	}
+	if _, _, err := inc.Recommendation(); err == nil {
+		t.Fatal("want error from Recommendation")
+	}
+}

@@ -252,6 +252,9 @@ func CDBTuneReward(perf0, perfPrev, perf float64) float64 {
 }
 
 func clip(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
 	if v < lo {
 		return lo
 	}

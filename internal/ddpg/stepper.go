@@ -1,0 +1,181 @@
+package ddpg
+
+import (
+	"relm/internal/conf"
+	"relm/internal/gbo"
+	"relm/internal/sim/cluster"
+	"relm/internal/tune"
+)
+
+// Tuner is the incremental form of the DDPG loop (Figure 15) behind the
+// unified tune.Tuner interface. The first suggestion is the default
+// configuration (the tuning request's starting state in CDBTune); every
+// subsequent suggestion is the actor's action on the latest state. Each
+// observation forms a transition, feeds the replay buffer, and trains the
+// agent, reproducing Tune's exact agent-interaction sequence when driven in
+// lockstep.
+type Tuner struct {
+	cl    cluster.Spec
+	sp    tune.Space
+	opts  TuneOptions
+	agent *Agent
+
+	qmodel   *gbo.Model
+	state    []float64
+	perf0    float64
+	perfPrev float64
+
+	initialized bool
+	steps       int // adaptive observations taken after the initial one
+
+	// pendingAction caches the actor's action between Suggest and Observe
+	// so repeated Suggest calls neither re-query the actor nor consume
+	// exploration noise.
+	pendingAction []float64
+	pendingCfg    *conf.Config
+
+	best  tune.Sample
+	found bool
+	curve []float64
+	done  bool
+}
+
+var _ tune.Tuner = (*Tuner)(nil)
+
+// NewTuner builds an incremental DDPG tuner. Pass a previously trained
+// agent to re-use its model on a new environment (§6.6), or nil to start
+// fresh.
+func NewTuner(cl cluster.Spec, sp tune.Space, agent *Agent, opts TuneOptions) *Tuner {
+	opts.fill()
+	if agent == nil {
+		agent = NewAgent(Options{StateDim: StateDim, ActionDim: sp.Dim(), Seed: opts.Seed})
+	}
+	return &Tuner{cl: cl, sp: sp, opts: opts, agent: agent}
+}
+
+// Suggest returns the next configuration to measure.
+func (t *Tuner) Suggest() conf.Config {
+	if t.pendingCfg != nil {
+		return *t.pendingCfg
+	}
+	if !t.initialized {
+		cfg := t.sp.Default()
+		t.pendingCfg = &cfg
+		return cfg
+	}
+	if t.done {
+		if t.found {
+			return t.best.Config
+		}
+		return t.sp.Default()
+	}
+	action := t.agent.Act(t.state, true)
+	cfg := actionToConfig(t.sp, action)
+	t.pendingAction, t.pendingCfg = action, &cfg
+	return cfg
+}
+
+// Observe incorporates one measured sample: the first observation seeds the
+// guide model Q and the starting state; later ones form transitions and
+// train the agent. An unsolicited observation — one that doesn't match the
+// outstanding suggestion — updates the incumbent but neither produces a
+// transition (no action led to it) nor consumes the pending suggestion.
+func (t *Tuner) Observe(s tune.Sample) {
+	if s.Objective <= 0 {
+		s.Objective = s.RuntimeSec
+	}
+	t.record(s)
+	solicited := t.pendingCfg != nil && s.Config == *t.pendingCfg
+
+	if !t.initialized {
+		t.initialized = true
+		t.ensureModel(s)
+		t.state = stateOf(s, t.qmodel)
+		t.perf0 = s.Objective
+		t.perfPrev = s.Objective
+		if solicited {
+			t.pendingAction, t.pendingCfg = nil, nil
+		}
+		return
+	}
+
+	// A runtime-only first observation leaves Q unbuilt; adopt the first
+	// later sample that does carry statistics.
+	t.ensureModel(s)
+	next := stateOf(s, t.qmodel)
+	switch {
+	case solicited:
+		if t.pendingAction != nil {
+			reward := CDBTuneReward(t.perf0, t.perfPrev, s.Objective)
+			t.agent.Observe(Transition{
+				State:     t.state,
+				Action:    t.pendingAction,
+				Reward:    reward,
+				NextState: next,
+				Done:      t.steps == t.opts.MaxSteps-1,
+			})
+			for i := 0; i < t.opts.TrainPerStep; i++ {
+				t.agent.Train()
+			}
+			t.steps++
+		}
+		t.pendingAction, t.pendingCfg = nil, nil
+		t.state = next
+		t.perfPrev = s.Objective
+	case t.pendingCfg == nil:
+		// No suggestion outstanding: fold the extra observation into the
+		// environment state.
+		t.state = next
+		t.perfPrev = s.Objective
+	default:
+		// Unsolicited while a suggestion is outstanding: leave the RL state
+		// untouched so the eventual transition stays consistent with the
+		// state its action was computed from.
+	}
+	if t.steps >= t.opts.MaxSteps {
+		t.done = true
+	}
+}
+
+// ensureModel builds the guide model Q from the first sample that carries
+// profile statistics.
+func (t *Tuner) ensureModel(s tune.Sample) {
+	if t.qmodel != nil {
+		return
+	}
+	if st, ok := s.DeriveStats(); ok {
+		t.qmodel = gbo.NewModel(t.cl, st)
+	}
+}
+
+func (t *Tuner) record(s tune.Sample) {
+	if !s.Result.Aborted && (!t.found || s.Objective < t.best.Objective) {
+		t.best, t.found = s, true
+	}
+	cur := s.Objective
+	if t.found {
+		cur = t.best.Objective
+	}
+	t.curve = append(t.curve, cur)
+}
+
+// Best returns the incumbent non-aborted sample.
+func (t *Tuner) Best() (tune.Sample, bool) { return t.best, t.found }
+
+// Done reports whether the step budget is exhausted.
+func (t *Tuner) Done() bool { return t.done }
+
+// Agent exposes the trained agent for persistence and cross-environment
+// re-use (Figure 27).
+func (t *Tuner) Agent() *Agent { return t.agent }
+
+// Result assembles the batch-style report from the steps taken so far.
+func (t *Tuner) Result() TuneResult {
+	return TuneResult{
+		Best:       t.best,
+		Found:      t.found,
+		Iterations: t.steps,
+		Curve:      append([]float64(nil), t.curve...),
+		Agent:      t.agent,
+	}
+}

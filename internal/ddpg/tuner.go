@@ -3,7 +3,6 @@ package ddpg
 import (
 	"relm/internal/conf"
 	"relm/internal/gbo"
-	"relm/internal/profile"
 	"relm/internal/tune"
 )
 
@@ -41,14 +40,20 @@ type TuneResult struct {
 // outcomes (heap utilization, GC overhead).
 const StateDim = 13
 
-// stateOf featurizes a sample for the agent.
+// stateOf featurizes a sample for the agent. Samples without profile
+// statistics (remote observations reporting plain runtimes) featurize to
+// zeroed resource statistics, and a nil guide model (no profiled sample
+// yet) to zeroed guide metrics — the agent still sees the run outcome.
 func stateOf(s tune.Sample, q *gbo.Model) []float64 {
-	st := profile.Generate(s.Profile)
+	st, _ := s.DeriveStats()
 	mh := st.MhMB
 	if mh <= 0 {
 		mh = 1
 	}
-	metrics := q.Metrics(s.Config)
+	var metrics [3]float64
+	if q != nil {
+		metrics = q.Metrics(s.Config)
+	}
 	aborted := 0.0
 	if s.Result.Aborted {
 		aborted = 1
@@ -80,58 +85,13 @@ func actionToConfig(sp tune.Space, a []float64) conf.Config {
 	return sp.Decode(x)
 }
 
-// Tune runs the DDPG loop against an evaluator, optionally continuing with
-// a pre-trained agent (model re-use across clusters or datasets, §6.6).
+// Tune runs the DDPG loop against an evaluator by driving the incremental
+// Tuner to completion, optionally continuing with a pre-trained agent
+// (model re-use across clusters or datasets, §6.6).
 func Tune(ev *tune.Evaluator, agent *Agent, opts TuneOptions) TuneResult {
-	opts.fill()
-	if agent == nil {
-		agent = NewAgent(Options{StateDim: StateDim, ActionDim: ev.Space.Dim(), Seed: opts.Seed})
-	}
-	res := TuneResult{Agent: agent}
-
-	record := func(s tune.Sample) {
-		if !s.Result.Aborted && (!res.Found || s.Objective < res.Best.Objective) {
-			res.Best, res.Found = s, true
-		}
-		cur := s.Objective
-		if res.Found {
-			cur = res.Best.Objective
-		}
-		res.Curve = append(res.Curve, cur)
-	}
-
-	// Initial observation: the default configuration (the tuning request's
-	// starting state in CDBTune).
-	def := ev.Space.Default()
-	s0 := ev.Eval(def)
-	record(s0)
-	qmodel := gbo.NewModel(ev.Cluster, profile.Generate(s0.Profile))
-	state := stateOf(s0, qmodel)
-	perf0 := s0.Objective
-	perfPrev := perf0
-
-	for step := 0; step < opts.MaxSteps; step++ {
-		action := agent.Act(state, true)
-		cfg := actionToConfig(ev.Space, action)
-		s := ev.Eval(cfg)
-		record(s)
-
-		next := stateOf(s, qmodel)
-		reward := CDBTuneReward(perf0, perfPrev, s.Objective)
-		agent.Observe(Transition{
-			State:     state,
-			Action:    action,
-			Reward:    reward,
-			NextState: next,
-			Done:      step == opts.MaxSteps-1,
-		})
-		for i := 0; i < opts.TrainPerStep; i++ {
-			agent.Train()
-		}
-		state = next
-		perfPrev = s.Objective
-	}
-	res.Iterations = opts.MaxSteps
+	t := NewTuner(ev.Cluster, ev.Space, agent, opts)
+	tune.Drive(t, ev, 0)
+	res := t.Result()
 	if !res.Found {
 		if best, ok := ev.Best(); ok {
 			res.Best, res.Found = best, true

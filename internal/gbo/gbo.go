@@ -75,7 +75,14 @@ func (m *Model) Metrics(c conf.Config) [3]float64 {
 	if longTermAvail < st.MiMB {
 		longTermAvail = st.MiMB
 	}
-	q2 := longTermNeed / longTermAvail
+	// Zero-statistics profiles (remote runtime-only observations) can leave
+	// both sides at 0; keep q2 finite rather than 0/0.
+	q2 := 0.0
+	if longTermAvail > 0 {
+		q2 = longTermNeed / longTermAvail
+	} else if longTermNeed > 0 {
+		q2 = 10 // nothing provided for a real need: deep in penalty range
+	}
 
 	// q3: shuffle-memory efficiency — shuffle batches beyond half of Eden
 	// cause full-GC storms (Observation 7).
@@ -124,34 +131,21 @@ func (m *Model) AcquisitionPenalty(c conf.Config) float64 {
 	return p
 }
 
-// Run executes guided Bayesian optimization. The guide model Q is built
-// from the first bootstrap sample's profile (§5.2: the profiled statistics
-// may come from a prior execution with any configuration), so GBO pays no
-// extra profiling run over BO.
+// Run executes guided Bayesian optimization by driving the incremental
+// Tuner to completion. The guide model Q is built from the first bootstrap
+// sample's profile (§5.2: the profiled statistics may come from a prior
+// execution with any configuration), so GBO pays no extra profiling run
+// over BO.
 func Run(ev *tune.Evaluator, opts bo.Options) (bo.Result, *Model) {
-	var model *Model
-	ensure := func() *Model {
-		if model == nil {
-			if h := ev.History(); len(h) > 0 && h[0].Profile != nil {
-				model = NewModel(ev.Cluster, profile.Generate(h[0].Profile))
-			}
+	t := NewTuner(ev.Cluster, ev.Space, opts)
+	tune.Drive(t, ev, 0)
+	res := t.Result()
+	if !res.Found {
+		if best, ok := ev.Best(); ok {
+			res.Best, res.Found = best, true
 		}
-		return model
 	}
-	extra := func(_ []float64, cfg conf.Config) []float64 {
-		if m := ensure(); m != nil {
-			return m.ExtraFeatures(cfg)
-		}
-		return []float64{0, 0, 0}
-	}
-	penalty := func(_ []float64, cfg conf.Config) float64 {
-		if m := ensure(); m != nil {
-			return m.AcquisitionPenalty(cfg)
-		}
-		return 1
-	}
-	res := bo.Run(ev, opts, extra, penalty)
-	return res, ensure()
+	return res, t.Model()
 }
 
 func maxInt(a, b int) int {

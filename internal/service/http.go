@@ -1,0 +1,283 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"relm/internal/conf"
+	"relm/internal/profile"
+)
+
+// ConfigJSON is the wire form of a configuration (Table 1 knobs).
+type ConfigJSON struct {
+	ContainersPerNode int     `json:"containers_per_node"`
+	TaskConcurrency   int     `json:"task_concurrency"`
+	CacheCapacity     float64 `json:"cache_capacity"`
+	ShuffleCapacity   float64 `json:"shuffle_capacity"`
+	NewRatio          int     `json:"new_ratio"`
+	SurvivorRatio     int     `json:"survivor_ratio"`
+}
+
+func toConfigJSON(c conf.Config) ConfigJSON {
+	return ConfigJSON{
+		ContainersPerNode: c.ContainersPerNode,
+		TaskConcurrency:   c.TaskConcurrency,
+		CacheCapacity:     c.CacheCapacity,
+		ShuffleCapacity:   c.ShuffleCapacity,
+		NewRatio:          c.NewRatio,
+		SurvivorRatio:     c.SurvivorRatio,
+	}
+}
+
+func (cj ConfigJSON) toConfig() conf.Config {
+	return conf.Config{
+		ContainersPerNode: cj.ContainersPerNode,
+		TaskConcurrency:   cj.TaskConcurrency,
+		CacheCapacity:     cj.CacheCapacity,
+		ShuffleCapacity:   cj.ShuffleCapacity,
+		NewRatio:          cj.NewRatio,
+		SurvivorRatio:     cj.SurvivorRatio,
+	}
+}
+
+// CreateRequest is the body of POST /v1/sessions.
+type CreateRequest struct {
+	Backend       string `json:"backend"`
+	Workload      string `json:"workload"`
+	Cluster       string `json:"cluster"`
+	Mode          string `json:"mode"`
+	Seed          uint64 `json:"seed"`
+	MaxIterations int    `json:"max_iterations"`
+	MaxSteps      int    `json:"max_steps"`
+}
+
+// ObserveRequest is the body of POST /v1/sessions/{id}/observe.
+type ObserveRequest struct {
+	Config     ConfigJSON     `json:"config"`
+	RuntimeSec float64        `json:"runtime_sec"`
+	Aborted    bool           `json:"aborted"`
+	Stats      *profile.Stats `json:"stats,omitempty"`
+}
+
+// SuggestResponse is the body returned by POST /v1/sessions/{id}/suggest.
+type SuggestResponse struct {
+	Config ConfigJSON `json:"config"`
+	Done   bool       `json:"done"`
+}
+
+// BestJSON is the wire form of a session's incumbent.
+type BestJSON struct {
+	Config     ConfigJSON `json:"config"`
+	RuntimeSec float64    `json:"runtime_sec"`
+	Objective  float64    `json:"objective"`
+}
+
+// StatusResponse is the wire form of a session status.
+type StatusResponse struct {
+	ID       string    `json:"id"`
+	Backend  string    `json:"backend"`
+	Workload string    `json:"workload"`
+	Cluster  string    `json:"cluster"`
+	Mode     string    `json:"mode"`
+	State    string    `json:"state"`
+	Evals    int       `json:"evals"`
+	Done     bool      `json:"done"`
+	Best     *BestJSON `json:"best,omitempty"`
+	Err      string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	LastUsed time.Time `json:"last_used"`
+}
+
+// HistoryJSON is one recorded experiment on the wire.
+type HistoryJSON struct {
+	Config     ConfigJSON `json:"config"`
+	RuntimeSec float64    `json:"runtime_sec"`
+	Objective  float64    `json:"objective"`
+	Aborted    bool       `json:"aborted"`
+}
+
+func toStatusResponse(st Status) StatusResponse {
+	resp := StatusResponse{
+		ID:       st.ID,
+		Backend:  st.Backend,
+		Workload: st.Workload,
+		Cluster:  st.Cluster,
+		Mode:     st.Mode,
+		State:    st.State,
+		Evals:    st.Evals,
+		Done:     st.Done,
+		Err:      st.Err,
+		Created:  st.Created,
+		LastUsed: st.LastUsed,
+	}
+	if st.Best != nil {
+		resp.Best = &BestJSON{
+			Config:     toConfigJSON(st.Best.Config),
+			RuntimeSec: st.Best.RuntimeSec,
+			Objective:  st.Best.Objective,
+		}
+	}
+	return resp
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes a Manager over the JSON API:
+//
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          session status (incl. best)
+//	POST   /v1/sessions/{id}/suggest  next configuration to measure
+//	POST   /v1/sessions/{id}/observe  report one measurement
+//	GET    /v1/sessions/{id}/history  recorded experiments
+//	DELETE /v1/sessions/{id}          close the session
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		st, err := m.Create(Spec{
+			Backend:       req.Backend,
+			Workload:      req.Workload,
+			Cluster:       req.Cluster,
+			Mode:          req.Mode,
+			Seed:          req.Seed,
+			MaxIterations: req.MaxIterations,
+			MaxSteps:      req.MaxSteps,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, toStatusResponse(st))
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		all := m.List()
+		out := make([]StatusResponse, 0, len(all))
+		for _, st := range all {
+			out = append(out, toStatusResponse(st))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStatusResponse(st))
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/suggest", func(w http.ResponseWriter, r *http.Request) {
+		cfg, done, err := m.Suggest(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SuggestResponse{Config: toConfigJSON(cfg), Done: done})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		var req ObserveRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		st, err := m.Observe(r.PathValue("id"), Observation{
+			Config:     req.Config.toConfig(),
+			RuntimeSec: req.RuntimeSec,
+			Aborted:    req.Aborted,
+			Stats:      req.Stats,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStatusResponse(st))
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/history", func(w http.ResponseWriter, r *http.Request) {
+		hist, err := m.History(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := make([]HistoryJSON, 0, len(hist))
+		for _, h := range hist {
+			out = append(out, HistoryJSON{
+				Config:     toConfigJSON(h.Config),
+				RuntimeSec: h.RuntimeSec,
+				Objective:  h.Objective,
+				Aborted:    h.Aborted,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.CloseSession(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": m.Len()})
+	})
+
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before writing the header so an encoding failure (e.g. a NaN
+	// float) surfaces as a 500 instead of a silent empty 200.
+	buf, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf)
+	_, _ = w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusGone
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrTooMany):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrManagerDown):
+		code = http.StatusServiceUnavailable
+	default:
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}

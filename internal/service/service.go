@@ -1,0 +1,636 @@
+// Package service turns the tuners into a long-lived tuning-as-a-service
+// subsystem: a concurrent session Manager multiplexes many simultaneous
+// tuning sessions — each one an incremental tune.Tuner driven step by step —
+// across remote clients reporting real measurements and a worker pool
+// running simulator-backed sessions for batch auto-tuning. Package
+// service/http (http.go) exposes the Manager over a JSON API; cmd/relm-serve
+// is the server binary.
+//
+// The session life cycle:
+//
+//	create (remote) → suggest → observe → … → done → close/evict
+//	create (auto)   → queued  → running (worker pool) → done
+//
+// All Manager and Session methods are safe for concurrent use.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"relm/internal/bo"
+	"relm/internal/conf"
+	"relm/internal/core"
+	"relm/internal/ddpg"
+	"relm/internal/gbo"
+	"relm/internal/profile"
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+	"relm/internal/tune"
+)
+
+// Session states.
+const (
+	StateActive  = "active"  // remote session awaiting suggest/observe calls
+	StateQueued  = "queued"  // auto session waiting for a worker
+	StateRunning = "running" // auto session being driven by a worker
+	StateDone    = "done"    // stopping rule fired
+	StateFailed  = "failed"  // pipeline error (e.g. RelM infeasibility)
+	StateClosed  = "closed"  // closed by the client or evicted by TTL
+)
+
+// Session modes.
+const (
+	ModeRemote = "remote" // the client measures configurations and reports back
+	ModeAuto   = "auto"   // the worker pool drives the session on the simulator
+)
+
+// Errors surfaced by the Manager.
+var (
+	ErrNotFound    = errors.New("service: session not found")
+	ErrClosed      = errors.New("service: session closed")
+	ErrBusy        = errors.New("service: session queue full")
+	ErrTooMany     = errors.New("service: session limit reached")
+	ErrManagerDown = errors.New("service: manager closed")
+)
+
+// Options configures a Manager. Zero values select sensible defaults.
+type Options struct {
+	// TTL evicts sessions idle for longer than this (default 30 minutes).
+	TTL time.Duration
+	// Workers is the size of the auto-tuning worker pool (default 4).
+	Workers int
+	// MaxSessions bounds the number of live sessions (default 4096).
+	MaxSessions int
+	// MaxAutoEvals caps the experiments one auto session may run
+	// (default 200) as a guard against non-terminating tuners.
+	MaxAutoEvals int
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (o *Options) fill() {
+	if o.TTL == 0 {
+		o.TTL = 30 * time.Minute
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 4096
+	}
+	if o.MaxAutoEvals == 0 {
+		o.MaxAutoEvals = 200
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Spec describes one tuning session to create.
+type Spec struct {
+	// Backend selects the policy: "relm" (default), "bo", "gbo", or "ddpg".
+	Backend string
+	// Workload is a Table 2 / TPC-H workload name (default "PageRank").
+	Workload string
+	// Cluster is "A" (default) or "B".
+	Cluster string
+	// Mode is "remote" (default) or "auto".
+	Mode string
+	// Seed drives the policy's stochastic choices and, in auto mode, the
+	// simulator.
+	Seed uint64
+	// MaxIterations caps BO/GBO adaptive samples (0 = paper default).
+	MaxIterations int
+	// MaxSteps caps DDPG steps (0 = paper default).
+	MaxSteps int
+}
+
+// Observation is one measured experiment reported to a session.
+type Observation struct {
+	Config     conf.Config
+	RuntimeSec float64
+	Aborted    bool
+	// Stats optionally carries the client's Table 6 profile statistics;
+	// RelM requires them, GBO and DDPG use them when present.
+	Stats *profile.Stats
+}
+
+// BestReport is the incumbent of a session.
+type BestReport struct {
+	Config     conf.Config
+	RuntimeSec float64
+	Objective  float64
+}
+
+// Status is a point-in-time snapshot of one session.
+type Status struct {
+	ID       string
+	Backend  string
+	Workload string
+	Cluster  string
+	Mode     string
+	State    string
+	Evals    int
+	Done     bool
+	Best     *BestReport
+	Err      string
+	Created  time.Time
+	LastUsed time.Time
+}
+
+// HistoryEntry is one recorded experiment of a session.
+type HistoryEntry struct {
+	Config     conf.Config
+	RuntimeSec float64
+	Objective  float64
+	Aborted    bool
+}
+
+// Session is one live tuning session. All fields behind mu.
+type Session struct {
+	mu sync.Mutex
+
+	id    string
+	spec  Spec
+	tuner tune.Tuner
+	space tune.Space
+	ev    *tune.Evaluator // simulator harness (auto mode)
+
+	history  []HistoryEntry
+	obj      tune.Objectives // the paper's abort-penalty objective (§6.1)
+	state    string
+	err      error
+	created  time.Time
+	lastUsed time.Time
+}
+
+// Manager multiplexes concurrent tuning sessions.
+type Manager struct {
+	opts Options
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	jobs chan *Session
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewManager starts a manager with its worker pool and TTL janitor.
+func NewManager(opts Options) *Manager {
+	opts.fill()
+	m := &Manager{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		jobs:     make(chan *Session, 256),
+		quit:     make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Close stops the worker pool and janitor and closes every session.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+
+	close(m.quit)
+	for _, s := range sessions {
+		s.mu.Lock()
+		s.state = StateClosed
+		s.mu.Unlock()
+	}
+	m.wg.Wait()
+}
+
+// resolve maps a Spec's symbolic names onto concrete cluster, workload, and
+// tuner instances.
+func resolve(spec Spec) (cluster.Spec, workload.Spec, error) {
+	var cl cluster.Spec
+	switch strings.ToUpper(spec.Cluster) {
+	case "", "A":
+		cl = cluster.A()
+	case "B":
+		cl = cluster.B()
+	default:
+		return cluster.Spec{}, workload.Spec{}, fmt.Errorf("service: unknown cluster %q (want A or B)", spec.Cluster)
+	}
+	name := spec.Workload
+	if name == "" {
+		name = "PageRank"
+	}
+	wl, ok := workload.ByName(name)
+	if !ok {
+		return cluster.Spec{}, workload.Spec{}, fmt.Errorf("service: unknown workload %q", name)
+	}
+	return cl, wl, nil
+}
+
+// newTuner builds the incremental tuner for a session spec.
+func newTuner(spec Spec, cl cluster.Spec, sp tune.Space) (tune.Tuner, error) {
+	boOpts := bo.Options{Seed: spec.Seed, MaxIterations: spec.MaxIterations}
+	switch strings.ToLower(spec.Backend) {
+	case "", "relm":
+		return core.New(cl).Incremental(sp), nil
+	case "bo":
+		return bo.NewTuner(sp, boOpts, nil, nil), nil
+	case "gbo":
+		return gbo.NewTuner(cl, sp, boOpts), nil
+	case "ddpg":
+		return ddpg.NewTuner(cl, sp, nil, ddpg.TuneOptions{MaxSteps: spec.MaxSteps, Seed: spec.Seed}), nil
+	default:
+		return nil, fmt.Errorf("service: unknown backend %q (want relm, bo, gbo, or ddpg)", spec.Backend)
+	}
+}
+
+// Create opens a new session and, in auto mode, enqueues it on the worker
+// pool.
+func (m *Manager) Create(spec Spec) (Status, error) {
+	cl, wl, err := resolve(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	mode := spec.Mode
+	if mode == "" {
+		mode = ModeRemote
+	}
+	if mode != ModeRemote && mode != ModeAuto {
+		return Status{}, fmt.Errorf("service: unknown mode %q (want remote or auto)", spec.Mode)
+	}
+	spec.Mode = mode
+	sp := tune.NewSpace(cl, wl)
+	t, err := newTuner(spec, cl, sp)
+	if err != nil {
+		return Status{}, err
+	}
+
+	now := m.opts.Now()
+	s := &Session{
+		spec:     spec,
+		tuner:    t,
+		space:    sp,
+		state:    StateActive,
+		created:  now,
+		lastUsed: now,
+	}
+	if mode == ModeAuto {
+		s.ev = tune.NewEvaluator(cl, wl, spec.Seed)
+		s.state = StateQueued
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, ErrManagerDown
+	}
+	if len(m.sessions) >= m.opts.MaxSessions {
+		m.mu.Unlock()
+		return Status{}, ErrTooMany
+	}
+	m.nextID++
+	s.id = fmt.Sprintf("sess-%d", m.nextID)
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+
+	if mode == ModeAuto {
+		select {
+		case m.jobs <- s:
+		default:
+			m.mu.Lock()
+			delete(m.sessions, s.id)
+			m.mu.Unlock()
+			return Status{}, ErrBusy
+		}
+	}
+	return m.statusOf(s), nil
+}
+
+// get looks a live session up.
+func (m *Manager) get(id string) (*Session, error) {
+	m.mu.RLock()
+	s, ok := m.sessions[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Suggest returns the session's next configuration to measure and whether
+// the session's stopping rule has fired.
+func (m *Manager) Suggest(id string) (conf.Config, bool, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return conf.Config{}, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return conf.Config{}, false, ErrClosed
+	}
+	s.lastUsed = m.opts.Now()
+	return s.tuner.Suggest(), s.tuner.Done(), nil
+}
+
+// Observe reports one measured experiment to the session and returns its
+// refreshed status.
+func (m *Manager) Observe(id string, obs Observation) (Status, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return Status{}, ErrClosed
+	}
+	if err := obs.Config.Validate(); err != nil {
+		return Status{}, fmt.Errorf("service: invalid observed configuration: %w", err)
+	}
+	if !(obs.RuntimeSec > 0) || math.IsInf(obs.RuntimeSec, 0) {
+		// Zero, negative, NaN, or infinite runtimes would corrupt the
+		// incumbent, the surrogate, and the stopping rule.
+		return Status{}, fmt.Errorf("service: runtime_sec must be a positive finite number, got %v", obs.RuntimeSec)
+	}
+
+	smp := tune.Sample{
+		Config:     obs.Config,
+		X:          s.space.Encode(obs.Config),
+		RuntimeSec: obs.RuntimeSec,
+		Objective:  s.obj.Assign(obs.RuntimeSec, obs.Aborted),
+		Stats:      obs.Stats,
+	}
+	smp.Result.RuntimeSec = obs.RuntimeSec
+	smp.Result.Aborted = obs.Aborted
+
+	s.tuner.Observe(smp)
+	s.record(smp)
+	s.lastUsed = m.opts.Now()
+	s.refreshStateLocked()
+	return m.statusLocked(s), nil
+}
+
+// Best returns the session's incumbent.
+func (m *Manager) Best(id string) (BestReport, bool, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return BestReport{}, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, ok := s.tuner.Best()
+	if !ok {
+		return BestReport{}, false, nil
+	}
+	return BestReport{Config: best.Config, RuntimeSec: best.RuntimeSec, Objective: best.Objective}, true, nil
+}
+
+// Get returns a session's status snapshot.
+func (m *Manager) Get(id string) (Status, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return m.statusOf(s), nil
+}
+
+// History returns the session's recorded experiments.
+func (m *Manager) History(id string) ([]HistoryEntry, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]HistoryEntry(nil), s.history...), nil
+}
+
+// CloseSession closes a session and removes it from the store. A worker
+// currently driving it notices the state flip and abandons it.
+func (m *Manager) CloseSession(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	s.mu.Lock()
+	s.state = StateClosed
+	s.mu.Unlock()
+	return nil
+}
+
+// List returns a status snapshot of every live session.
+func (m *Manager) List() []Status {
+	m.mu.RLock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.RUnlock()
+	out := make([]Status, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, m.statusOf(s))
+	}
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// Sweep evicts sessions idle past the TTL and returns how many it removed.
+// The janitor calls it periodically; tests call it directly.
+func (m *Manager) Sweep() int {
+	now := m.opts.Now()
+	m.mu.Lock()
+	var evict []*Session
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed) > m.opts.TTL
+		s.mu.Unlock()
+		if idle {
+			evict = append(evict, s)
+			delete(m.sessions, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range evict {
+		s.mu.Lock()
+		s.state = StateClosed
+		s.mu.Unlock()
+	}
+	return len(evict)
+}
+
+// --- internals -------------------------------------------------------------
+
+func (s *Session) record(smp tune.Sample) {
+	s.history = append(s.history, HistoryEntry{
+		Config:     smp.Config,
+		RuntimeSec: smp.RuntimeSec,
+		Objective:  smp.Objective,
+		Aborted:    smp.Result.Aborted,
+	})
+}
+
+// refreshStateLocked moves a non-terminal session to done/failed once its
+// tuner stops. Callers hold s.mu.
+func (s *Session) refreshStateLocked() {
+	if s.state == StateClosed || s.state == StateFailed {
+		return
+	}
+	if !s.tuner.Done() {
+		return
+	}
+	if inc, ok := s.tuner.(*core.Incremental); ok && inc.Err() != nil {
+		s.state, s.err = StateFailed, inc.Err()
+		return
+	}
+	s.state = StateDone
+}
+
+func (m *Manager) statusOf(s *Session) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.statusLocked(s)
+}
+
+func (m *Manager) statusLocked(s *Session) Status {
+	st := Status{
+		ID:       s.id,
+		Backend:  s.spec.Backend,
+		Workload: s.spec.Workload,
+		Cluster:  s.spec.Cluster,
+		Mode:     s.spec.Mode,
+		State:    s.state,
+		Evals:    len(s.history),
+		Done:     s.tuner.Done(),
+		Created:  s.created,
+		LastUsed: s.lastUsed,
+	}
+	if st.Backend == "" {
+		st.Backend = "relm"
+	}
+	if st.Workload == "" {
+		st.Workload = "PageRank"
+	}
+	if st.Cluster == "" {
+		st.Cluster = "A"
+	}
+	if best, ok := s.tuner.Best(); ok {
+		st.Best = &BestReport{Config: best.Config, RuntimeSec: best.RuntimeSec, Objective: best.Objective}
+	}
+	if s.err != nil {
+		st.Err = s.err.Error()
+	}
+	return st
+}
+
+// worker drains the auto-tuning queue, driving each simulator-backed
+// session's suggest/observe loop to completion.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case s := <-m.jobs:
+			m.drive(s)
+		}
+	}
+}
+
+// drive runs one auto session. The simulation itself runs outside the
+// session lock so status queries stay responsive; the shared evaluator is
+// itself concurrency-safe.
+func (m *Manager) drive(s *Session) {
+	s.mu.Lock()
+	if s.state == StateQueued {
+		s.state = StateRunning
+	}
+	s.mu.Unlock()
+
+	for {
+		select {
+		case <-m.quit:
+			return
+		default:
+		}
+
+		s.mu.Lock()
+		if s.state == StateClosed {
+			s.mu.Unlock()
+			return
+		}
+		if s.tuner.Done() || len(s.history) >= m.opts.MaxAutoEvals {
+			s.refreshStateLocked()
+			if s.state == StateRunning { // eval cap hit before the tuner stopped
+				s.state = StateDone
+			}
+			s.mu.Unlock()
+			return
+		}
+		cfg := s.tuner.Suggest()
+		ev := s.ev
+		s.mu.Unlock()
+
+		smp := ev.Eval(cfg)
+
+		s.mu.Lock()
+		if s.state == StateClosed {
+			s.mu.Unlock()
+			return
+		}
+		s.tuner.Observe(smp)
+		s.record(smp)
+		s.lastUsed = m.opts.Now()
+		s.mu.Unlock()
+	}
+}
+
+// janitor periodically evicts idle sessions.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	period := m.opts.TTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-ticker.C:
+			m.Sweep()
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package tune
+
+import (
+	"sync"
+	"testing"
+
+	"relm/internal/sim/cluster"
+	"relm/internal/sim/workload"
+)
+
+// TestEvaluatorConcurrentUse hammers one shared evaluator from many
+// goroutines — the service worker pool's usage pattern. Run with -race.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	wl, _ := workload.ByName("WordCount")
+	ev := NewEvaluator(cluster.A(), wl, 1)
+	grid := ev.Space.Grid()
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s := ev.Eval(grid[(g*perG+i)%len(grid)])
+				if s.RuntimeSec <= 0 {
+					t.Errorf("bad sample: %+v", s.Result)
+				}
+				ev.Best()
+				ev.History()
+				ev.TotalRuntime()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := ev.Evals(); got != goroutines*perG {
+		t.Fatalf("Evals = %d, want %d", got, goroutines*perG)
+	}
+	// Distinct seed offsets must have been reserved: identical configs may
+	// legitimately repeat, but the recorded history must be complete.
+	if len(ev.History()) != goroutines*perG {
+		t.Fatalf("history incomplete")
+	}
+}

@@ -1,6 +1,8 @@
 package tune
 
 import (
+	"sync"
+
 	"relm/internal/conf"
 	"relm/internal/profile"
 	"relm/internal/sim"
@@ -19,19 +21,65 @@ type Sample struct {
 	Objective float64
 	Result    sim.Result
 	Profile   *profile.Profile
+	// Stats optionally carries pre-derived Table 6 statistics for
+	// observations that have no simulator profile — e.g. a remote client
+	// reporting a real run to the tuning service. When both are present,
+	// Stats wins.
+	Stats *profile.Stats
 }
+
+// DeriveStats returns the Table 6 statistics attached to or derivable from
+// the sample: the explicit Stats field if set, otherwise statistics
+// generated from the profile. ok is false when the sample carries neither.
+func (s Sample) DeriveStats() (profile.Stats, bool) {
+	if s.Stats != nil {
+		return *s.Stats, true
+	}
+	if s.Profile != nil {
+		return profile.Generate(s.Profile), true
+	}
+	return profile.Stats{}, false
+}
+
+// Objectives assigns the paper's tuning objective to observed runs: the
+// runtime, or the abort penalty of twice the worst runtime seen so far for
+// failed runs (§6.1). The Evaluator and the service's remote sessions share
+// this one implementation. Not safe for concurrent use on its own; callers
+// hold their own locks.
+type Objectives struct {
+	worst float64
+}
+
+// Assign returns the objective for one observed run, updating the
+// worst-runtime watermark.
+func (o *Objectives) Assign(runtimeSec float64, aborted bool) float64 {
+	if runtimeSec > o.worst {
+		o.worst = runtimeSec
+	}
+	if aborted {
+		return 2 * o.worst
+	}
+	return runtimeSec
+}
+
+// Reset clears the watermark.
+func (o *Objectives) Reset() { o.worst = 0 }
 
 // Evaluator runs configurations for the tuning policies and applies the
 // paper's objective conventions. It records every evaluation, which is what
-// the overhead figures (16, 18, 19) report.
+// the overhead figures (16, 18, 19) report. It is safe for concurrent use:
+// the service worker pool shares evaluators across goroutines, and
+// simulation runs proceed in parallel outside the bookkeeping lock.
 type Evaluator struct {
 	Cluster  cluster.Spec
 	Workload workload.Spec
 	Space    Space
 	Seed     uint64
 
+	mu      sync.Mutex
+	started int // evaluations begun (seeds reserved), >= len(history)
 	history []Sample
-	worst   float64
+	obj     Objectives
 }
 
 // NewEvaluator builds an evaluator with a fresh history.
@@ -45,8 +93,16 @@ func NewEvaluator(cl cluster.Spec, wl workload.Spec, seed uint64) *Evaluator {
 }
 
 // Eval runs one configuration (one stress-test experiment) and records it.
+// The simulation itself runs outside the lock so concurrent evaluations
+// overlap; each reserves a distinct seed offset.
 func (e *Evaluator) Eval(c conf.Config) Sample {
-	res, prof := sim.Run(e.Cluster, e.Workload, c, e.Seed+uint64(len(e.history))*104729)
+	e.mu.Lock()
+	idx := e.started
+	e.started++
+	seed := e.Seed
+	e.mu.Unlock()
+
+	res, prof := sim.Run(e.Cluster, e.Workload, c, seed+uint64(idx)*104729)
 	s := Sample{
 		Config:     c,
 		X:          e.Space.Encode(c),
@@ -54,29 +110,33 @@ func (e *Evaluator) Eval(c conf.Config) Sample {
 		Result:     res,
 		Profile:    prof,
 	}
-	if res.RuntimeSec > e.worst {
-		e.worst = res.RuntimeSec
-	}
-	if res.Aborted {
-		// Failed runs rank below everything observed so far (§6.1).
-		s.Objective = 2 * e.worst
-	} else {
-		s.Objective = res.RuntimeSec
-	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.Objective = e.obj.Assign(res.RuntimeSec, res.Aborted)
 	e.history = append(e.history, s)
 	return s
 }
 
-// Evals returns the number of experiments run so far.
-func (e *Evaluator) Evals() int { return len(e.history) }
+// Evals returns the number of experiments recorded so far.
+func (e *Evaluator) Evals() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.history)
+}
 
-// History returns all recorded samples (shared slice; callers must not
-// mutate).
-func (e *Evaluator) History() []Sample { return e.history }
+// History returns a snapshot of all recorded samples.
+func (e *Evaluator) History() []Sample {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Sample(nil), e.history...)
+}
 
 // Best returns the sample with the lowest objective among non-aborted runs;
 // ok is false when every run aborted or none were taken.
 func (e *Evaluator) Best() (Sample, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var best Sample
 	found := false
 	for _, s := range e.history {
@@ -94,6 +154,8 @@ func (e *Evaluator) Best() (Sample, bool) {
 // TotalRuntime sums the stress-testing time of all experiments — the
 // training-overhead measure of Figure 16.
 func (e *Evaluator) TotalRuntime() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var t float64
 	for _, s := range e.history {
 		t += s.RuntimeSec
@@ -103,7 +165,10 @@ func (e *Evaluator) TotalRuntime() float64 {
 
 // Reset clears the history (used when a policy is re-run from scratch).
 func (e *Evaluator) Reset(seed uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.history = nil
-	e.worst = 0
+	e.started = 0
+	e.obj.Reset()
 	e.Seed = seed
 }

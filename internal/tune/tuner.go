@@ -1,0 +1,49 @@
+package tune
+
+import "relm/internal/conf"
+
+// Tuner is the unified incremental tuning interface implemented by every
+// policy in the repository (RelM, BO, GBO, DDPG). It inverts the control of
+// the batch drivers: instead of a policy pulling evaluations out of a
+// simulator-bound Evaluator, a caller — the batch driver, the tuning
+// service, or a remote client reporting real measurements — drives the
+// suggest/observe loop one step at a time:
+//
+//	for !t.Done() {
+//		cfg := t.Suggest()
+//		t.Observe(measure(cfg)) // simulator run or real experiment
+//	}
+//	best, ok := t.Best()
+//
+// Implementations are not safe for concurrent use; callers that share a
+// Tuner across goroutines (e.g. the service session manager) must
+// serialize access.
+type Tuner interface {
+	// Suggest returns the next configuration to measure. It is stable
+	// between observations: calling Suggest repeatedly without an
+	// intervening Observe returns the same configuration. Once Done
+	// reports true, Suggest returns the best known configuration.
+	Suggest() conf.Config
+	// Observe reports the measured outcome of one experiment. The sample's
+	// Config need not be the last suggestion — unsolicited observations
+	// (e.g. a client replaying historical runs) are incorporated too.
+	Observe(Sample)
+	// Best returns the incumbent: the lowest-objective non-aborted sample
+	// observed so far. ok is false when nothing succeeded yet.
+	Best() (Sample, bool)
+	// Done reports whether the policy's stopping rule has fired. Observing
+	// further samples after Done is permitted (they still update Best).
+	Done() bool
+}
+
+// Drive runs a Tuner to completion against an evaluator — the batch mode
+// shared by all policies. Every Tuner implementation carries its own
+// stopping bound, so the loop runs until Done; pass maxSteps > 0 to cap
+// the evaluations regardless (the service uses its own cap for auto
+// sessions), or <= 0 for no cap.
+func Drive(t Tuner, ev *Evaluator, maxSteps int) (Sample, bool) {
+	for steps := 0; !t.Done() && (maxSteps <= 0 || steps < maxSteps); steps++ {
+		t.Observe(ev.Eval(t.Suggest()))
+	}
+	return t.Best()
+}

@@ -27,6 +27,7 @@ package relm
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"relm/internal/bo"
 	"relm/internal/conf"
@@ -35,6 +36,7 @@ import (
 	"relm/internal/experiments"
 	"relm/internal/gbo"
 	"relm/internal/profile"
+	"relm/internal/service"
 	"relm/internal/sim"
 	"relm/internal/sim/cluster"
 	"relm/internal/sim/workload"
@@ -192,4 +194,77 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // returned value's String renders it in the paper's layout.
 func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
 	return experiments.Run(id, cfg)
+}
+
+// Tuner is the unified incremental tuning interface: every policy (RelM,
+// BO, GBO, DDPG) can be driven one suggest/observe step at a time by any
+// caller — a batch loop, the tuning service, or a remote client reporting
+// real measurements.
+type Tuner = tune.Tuner
+
+// Space is the normalized configuration domain for one (cluster, workload)
+// pair.
+type Space = tune.Space
+
+// NewSpace builds the standard evaluation space for a workload.
+func NewSpace(cl Cluster, wl Workload) Space { return tune.NewSpace(cl, wl) }
+
+// NewBOTuner returns an incremental vanilla Bayesian optimizer.
+func NewBOTuner(cl Cluster, wl Workload, opts BOOptions) Tuner {
+	return bo.NewTuner(tune.NewSpace(cl, wl), opts, nil, nil)
+}
+
+// NewGBOTuner returns an incremental Guided Bayesian optimizer; the guide
+// model Q is built from the first observation carrying profile statistics.
+func NewGBOTuner(cl Cluster, wl Workload, opts BOOptions) Tuner {
+	return gbo.NewTuner(cl, tune.NewSpace(cl, wl), opts)
+}
+
+// NewDDPGTuner returns an incremental DDPG tuner; pass a previously trained
+// agent to re-use its model on a new environment, or nil to start fresh.
+func NewDDPGTuner(cl Cluster, wl Workload, agent *DDPGAgent, opts DDPGOptions) Tuner {
+	return ddpg.NewTuner(cl, tune.NewSpace(cl, wl), agent, opts)
+}
+
+// NewRelMStepTuner returns the steppable form of the RelM workflow:
+// profile run(s), then the analytic recommendation as a verification run.
+func NewRelMStepTuner(cl Cluster, wl Workload) Tuner {
+	return core.New(cl).Incremental(tune.NewSpace(cl, wl))
+}
+
+// DriveTuner runs an incremental tuner to completion against an evaluator
+// (batch mode). maxSteps <= 0 selects a safety default.
+func DriveTuner(t Tuner, ev *Evaluator, maxSteps int) (Sample, bool) {
+	return tune.Drive(t, ev, maxSteps)
+}
+
+// ServiceManager multiplexes many concurrent tuning sessions — remote
+// clients reporting real measurements and worker-pool-driven simulator
+// sessions — behind the tuning-as-a-service subsystem.
+type ServiceManager = service.Manager
+
+// ServiceOptions configures the session manager (TTL, worker pool size,
+// session limits).
+type ServiceOptions = service.Options
+
+// SessionSpec describes one tuning session to create.
+type SessionSpec = service.Spec
+
+// SessionObservation is one measured experiment reported to a session.
+type SessionObservation = service.Observation
+
+// SessionStatus is a point-in-time snapshot of one session.
+type SessionStatus = service.Status
+
+// NewServiceManager starts a session manager with its worker pool and TTL
+// janitor. Call Close to stop it.
+func NewServiceManager(opts ServiceOptions) *ServiceManager {
+	return service.NewManager(opts)
+}
+
+// NewServiceHandler exposes a session manager over the HTTP/JSON tuning
+// API (POST /v1/sessions, .../suggest, .../observe, GET /v1/sessions/{id});
+// cmd/relm-serve is the ready-made server binary.
+func NewServiceHandler(m *ServiceManager) http.Handler {
+	return service.NewHandler(m)
 }
