@@ -4,9 +4,18 @@
 // suggest/observe loop with real measurements; auto-mode sessions are
 // driven by the server's worker pool on the simulator.
 //
+// With -data-dir the server is durable: every session event is journaled
+// to an append-only write-ahead log (<dir>/wal.jsonl) with periodic
+// compacted snapshots (<dir>/snapshot.json), a restarted server resumes
+// every open session with full history, and completed sessions feed a
+// persisted model repository that warm-starts later sessions on the same
+// workload (§6.6 model re-use).
+//
 // Usage:
 //
 //	relm-serve [-addr :8080] [-workers 4] [-ttl 30m] [-max-sessions 4096]
+//	           [-data-dir relm-data] [-snapshot-every 1024] [-fsync]
+//	           [-warm-distance 0.25]
 //
 // One full remote tuning loop:
 //
@@ -31,23 +40,47 @@ import (
 	"time"
 
 	"relm/internal/service"
+	"relm/internal/store"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 4, "auto-tuning worker pool size")
-		ttl         = flag.Duration("ttl", 30*time.Minute, "idle-session eviction TTL")
-		maxSessions = flag.Int("max-sessions", 4096, "live-session limit")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "auto-tuning worker pool size")
+		ttl          = flag.Duration("ttl", 30*time.Minute, "idle-session eviction TTL")
+		maxSessions  = flag.Int("max-sessions", 4096, "live-session limit")
+		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only, nothing survives a restart)")
+		snapEvery    = flag.Int("snapshot-every", 1024, "compact the write-ahead log after this many events")
+		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every event (slower, survives machine crashes)")
+		warmDistance = flag.Float64("warm-distance", 0.25, "default fingerprint-distance threshold for warm-start matching")
 	)
 	flag.Parse()
 
-	m := service.NewManager(service.Options{
-		TTL:         *ttl,
-		Workers:     *workers,
-		MaxSessions: *maxSessions,
-	})
+	opts := service.Options{
+		TTL:             *ttl,
+		Workers:         *workers,
+		MaxSessions:     *maxSessions,
+		SnapshotEvery:   *snapEvery,
+		WarmMaxDistance: *warmDistance,
+	}
+	if *dataDir != "" {
+		st, err := store.OpenFile(*dataDir, store.FileOptions{SyncEachAppend: *fsync})
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		opts.Store = st
+	}
+
+	m, err := service.Open(opts)
+	if err != nil {
+		log.Fatalf("restore sessions: %v", err)
+	}
 	defer m.Close()
+	if *dataDir != "" {
+		mt := m.Metrics()
+		log.Printf("restored %d sessions (%d observations, %d repository models) from %s",
+			mt.Sessions, mt.Observations, mt.RepoEntries, *dataDir)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -60,7 +93,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("relm-serve listening on %s (workers=%d ttl=%s)", *addr, *workers, *ttl)
+	log.Printf("relm-serve listening on %s (workers=%d ttl=%s data-dir=%q)", *addr, *workers, *ttl, *dataDir)
 
 	select {
 	case <-ctx.Done():

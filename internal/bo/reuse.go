@@ -93,6 +93,23 @@ func fingerprintVector(st profile.Stats) []float64 {
 	}
 }
 
+// RescaledPoints returns the entry's observations as prior points for a
+// new session whose default-configuration runtime is defaultSec:
+// objectives are multiplied by the ratio of default runtimes, bridging
+// workload-magnitude differences; the scale is 1 when either runtime is
+// unknown.
+func (e *RepoEntry) RescaledPoints(defaultSec float64) []PriorPoint {
+	scale := 1.0
+	if e.DefaultSec > 0 && defaultSec > 0 {
+		scale = defaultSec / e.DefaultSec
+	}
+	points := make([]PriorPoint, 0, len(e.Points))
+	for _, p := range e.Points {
+		points = append(points, PriorPoint{X: p.X, Cfg: p.Cfg, Y: p.Y * scale})
+	}
+	return points
+}
+
 // Match returns the closest same-cluster entry and its distance; ok is false
 // when the repository holds no candidate within maxDistance.
 func (r *Repository) Match(clusterName string, fp profile.Stats, maxDistance float64) (*RepoEntry, float64, bool) {
@@ -139,15 +156,7 @@ func RunWithReuse(ev *tune.Evaluator, opts Options, repo *Repository, maxDistanc
 
 	reused := false
 	if entry, _, ok := repo.Match(ev.Cluster.Name, fp, maxDistance); ok {
-		scale := 1.0
-		if entry.DefaultSec > 0 {
-			scale = s.RuntimeSec / entry.DefaultSec
-		}
-		prior := make([]PriorPoint, 0, len(entry.Points))
-		for _, p := range entry.Points {
-			prior = append(prior, PriorPoint{X: p.X, Cfg: p.Cfg, Y: p.Y * scale})
-		}
-		opts.Prior = prior
+		opts.Prior = entry.RescaledPoints(s.RuntimeSec)
 		// The warm start replaces most of the bootstrap, and a trusted prior
 		// shortens the adaptive phase: the session only needs to confirm and
 		// locally refine the matched model's optimum.

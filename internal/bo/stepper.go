@@ -85,6 +85,40 @@ func NewTuner(sp tune.Space, opts Options, extra Extra, penalty Penalty) *Tuner 
 	return t
 }
 
+// WarmStart seeds the optimizer with prior observations transferred from a
+// matched repository entry (§6.6 model re-use), replacing any prior set at
+// construction. The trusted prior replaces the bootstrap: the next
+// suggestion becomes a single confirmation run of the prior's best
+// configuration, the rest of the bootstrap queue is dropped, and the
+// adaptive phase is tightened the same way RunWithReuse tightens a batch
+// session (at most 6 new iterations, stopping rule armed after 3). Call it
+// before the first observation; the service applies it at session creation
+// or, for auto sessions, right after the fingerprinting run.
+func (t *Tuner) WarmStart(points []PriorPoint) {
+	if len(points) == 0 {
+		return
+	}
+	t.opts.Prior = append([]PriorPoint(nil), points...)
+	best := points[0]
+	for _, p := range points {
+		t.seen[p.Cfg] = true
+		if p.Y < best.Y {
+			best = p
+		}
+	}
+	t.queue = nil
+	if !t.done {
+		cfg := best.Cfg
+		t.pending, t.pendingAdaptive = &cfg, false
+	}
+	if t.opts.MaxIterations > 6 {
+		t.opts.MaxIterations = 6
+	}
+	if t.opts.MinNewSamples > 3 {
+		t.opts.MinNewSamples = 3
+	}
+}
+
 // features appends the Extra hook's outputs to the normalized knobs.
 func (t *Tuner) features(x []float64, cfg conf.Config) []float64 {
 	if t.extra == nil {

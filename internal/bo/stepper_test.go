@@ -106,3 +106,51 @@ func TestStepperRemoteObservations(t *testing.T) {
 		t.Fatalf("best: ok=%v %+v", ok, best)
 	}
 }
+
+// TestWarmStartSeedsStepper: a warm-started stepper suggests the prior's
+// best configuration first (a confirmation run of the transferred
+// optimum), drops the rest of the bootstrap, and stops in fewer
+// evaluations than a cold session, with the prior joining the surrogate.
+func TestWarmStartSeedsStepper(t *testing.T) {
+	cl := cluster.A()
+	wl, _ := workload.ByName("K-means")
+	opts := Options{Seed: 5}
+
+	evCold := tune.NewEvaluator(cl, wl, 9)
+	cold := NewTuner(evCold.Space, opts, nil, nil)
+	for !cold.Done() {
+		cold.Observe(evCold.Eval(cold.Suggest()))
+	}
+	coldEvals := evCold.Evals()
+	coldBest, ok := cold.Best()
+	if !ok {
+		t.Fatal("cold session found no incumbent")
+	}
+
+	prior := make([]PriorPoint, 0, coldEvals)
+	for _, s := range evCold.History() {
+		prior = append(prior, PriorPoint{X: s.X, Cfg: s.Config, Y: s.Objective})
+	}
+
+	evWarm := tune.NewEvaluator(cl, wl, 9)
+	warm := NewTuner(evWarm.Space, opts, nil, nil)
+	warm.WarmStart(prior)
+	if got := warm.Suggest(); got != coldBest.Config {
+		t.Fatalf("first warm suggestion = %+v, want transferred optimum %+v", got, coldBest.Config)
+	}
+	for !warm.Done() {
+		warm.Observe(evWarm.Eval(warm.Suggest()))
+	}
+	if evWarm.Evals() >= coldEvals {
+		t.Fatalf("warm start took %d evals, cold took %d — no savings", evWarm.Evals(), coldEvals)
+	}
+	warmBest, ok := warm.Best()
+	if !ok {
+		t.Fatal("warm session found no incumbent")
+	}
+	// The confirmation run re-measures the transferred optimum, so the warm
+	// incumbent is at worst a re-draw of the cold one (simulator noise).
+	if warmBest.Objective > coldBest.Objective*1.25 {
+		t.Fatalf("warm best %.1f much worse than cold best %.1f", warmBest.Objective, coldBest.Objective)
+	}
+}

@@ -54,6 +54,10 @@ func (t *Tuner) Observe(s tune.Sample) {
 	t.inner.Observe(s)
 }
 
+// WarmStart seeds the inner optimizer with prior observations transferred
+// from a matched repository entry (§6.6 model re-use).
+func (t *Tuner) WarmStart(points []bo.PriorPoint) { t.inner.WarmStart(points) }
+
 // Best returns the incumbent non-aborted sample.
 func (t *Tuner) Best() (tune.Sample, bool) { return t.inner.Best() }
 

@@ -1,0 +1,26 @@
+package service
+
+import (
+	"testing"
+)
+
+func TestDDPGAutoDeterminism(t *testing.T) {
+	spec := Spec{Backend: "ddpg", Workload: "K-means", Mode: ModeAuto, Seed: 6, MaxSteps: 5}
+	var hists [][]HistoryEntry
+	for i := 0; i < 2; i++ {
+		m := newTestManager(t, Options{Workers: 1})
+		st, err := m.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, st.ID, StateDone)
+		h, err := m.History(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hists = append(hists, h)
+	}
+	if !historiesEqual(hists[0], hists[1]) {
+		t.Fatalf("two identical ddpg runs differ: %d vs %d evals", len(hists[0]), len(hists[1]))
+	}
+}

@@ -52,6 +52,16 @@ type CreateRequest struct {
 	Seed          uint64 `json:"seed"`
 	MaxIterations int    `json:"max_iterations"`
 	MaxSteps      int    `json:"max_steps"`
+
+	// WarmStart asks the service to seed the session from the model
+	// repository (§6.6). Remote sessions supply their workload
+	// fingerprint via stats (+ the default-configuration runtime for
+	// rescaling); auto sessions profile the default configuration
+	// themselves.
+	WarmStart         bool           `json:"warm_start,omitempty"`
+	WarmMaxDistance   float64        `json:"warm_max_distance,omitempty"`
+	Stats             *profile.Stats `json:"stats,omitempty"`
+	DefaultRuntimeSec float64        `json:"default_runtime_sec,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe.
@@ -59,6 +69,7 @@ type ObserveRequest struct {
 	Config     ConfigJSON     `json:"config"`
 	RuntimeSec float64        `json:"runtime_sec"`
 	Aborted    bool           `json:"aborted"`
+	GCOverhead float64        `json:"gc_overhead,omitempty"`
 	Stats      *profile.Stats `json:"stats,omitempty"`
 }
 
@@ -89,14 +100,37 @@ type StatusResponse struct {
 	Err      string    `json:"error,omitempty"`
 	Created  time.Time `json:"created"`
 	LastUsed time.Time `json:"last_used"`
+
+	WarmStarted  bool    `json:"warm_started,omitempty"`
+	WarmSource   string  `json:"warm_source,omitempty"`
+	WarmDistance float64 `json:"warm_distance,omitempty"`
 }
 
 // HistoryJSON is one recorded experiment on the wire.
 type HistoryJSON struct {
-	Config     ConfigJSON `json:"config"`
-	RuntimeSec float64    `json:"runtime_sec"`
-	Objective  float64    `json:"objective"`
-	Aborted    bool       `json:"aborted"`
+	Config     ConfigJSON     `json:"config"`
+	RuntimeSec float64        `json:"runtime_sec"`
+	Objective  float64        `json:"objective"`
+	Aborted    bool           `json:"aborted"`
+	GCOverhead float64        `json:"gc_overhead,omitempty"`
+	Stats      *profile.Stats `json:"stats,omitempty"`
+}
+
+// MetricsResponse is the body of GET /v1/metrics.
+type MetricsResponse struct {
+	Sessions        int            `json:"sessions"`
+	SessionsByState map[string]int `json:"sessions_by_state"`
+	Observations    int64          `json:"observations"`
+	Evictions       int64          `json:"evictions"`
+	WarmStarts      int64          `json:"warm_starts"`
+	RepoEntries     int            `json:"repo_entries"`
+	Persistence     bool           `json:"persistence"`
+	WALBytes        int64          `json:"wal_bytes,omitempty"`
+	WALEvents       uint64         `json:"wal_events,omitempty"`
+	Snapshots       uint64         `json:"snapshots,omitempty"`
+	SnapshotBytes   int64          `json:"snapshot_bytes,omitempty"`
+	LastCompaction  *time.Time     `json:"last_compaction,omitempty"`
+	JournalError    string         `json:"journal_error,omitempty"`
 }
 
 func toStatusResponse(st Status) StatusResponse {
@@ -113,6 +147,9 @@ func toStatusResponse(st Status) StatusResponse {
 		Created:  st.Created,
 		LastUsed: st.LastUsed,
 	}
+	resp.WarmStarted = st.WarmStarted
+	resp.WarmSource = st.WarmSource
+	resp.WarmDistance = st.WarmDistance
 	if st.Best != nil {
 		resp.Best = &BestJSON{
 			Config:     toConfigJSON(st.Best.Config),
@@ -136,7 +173,8 @@ type errorJSON struct {
 //	POST   /v1/sessions/{id}/suggest  next configuration to measure
 //	POST   /v1/sessions/{id}/observe  report one measurement
 //	GET    /v1/sessions/{id}/history  recorded experiments
-//	DELETE /v1/sessions/{id}          close the session
+//	DELETE /v1/sessions/{id}          close the session (idempotent)
+//	GET    /v1/metrics                service + store observability counters
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -146,13 +184,17 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		st, err := m.Create(Spec{
-			Backend:       req.Backend,
-			Workload:      req.Workload,
-			Cluster:       req.Cluster,
-			Mode:          req.Mode,
-			Seed:          req.Seed,
-			MaxIterations: req.MaxIterations,
-			MaxSteps:      req.MaxSteps,
+			Backend:           req.Backend,
+			Workload:          req.Workload,
+			Cluster:           req.Cluster,
+			Mode:              req.Mode,
+			Seed:              req.Seed,
+			MaxIterations:     req.MaxIterations,
+			MaxSteps:          req.MaxSteps,
+			WarmStart:         req.WarmStart,
+			WarmMaxDistance:   req.WarmMaxDistance,
+			Stats:             req.Stats,
+			DefaultRuntimeSec: req.DefaultRuntimeSec,
 		})
 		if err != nil {
 			writeError(w, err)
@@ -197,6 +239,7 @@ func NewHandler(m *Manager) http.Handler {
 			Config:     req.Config.toConfig(),
 			RuntimeSec: req.RuntimeSec,
 			Aborted:    req.Aborted,
+			GCOverhead: req.GCOverhead,
 			Stats:      req.Stats,
 		})
 		if err != nil {
@@ -219,9 +262,36 @@ func NewHandler(m *Manager) http.Handler {
 				RuntimeSec: h.RuntimeSec,
 				Objective:  h.Objective,
 				Aborted:    h.Aborted,
+				GCOverhead: h.GCOverhead,
+				Stats:      h.Stats,
 			})
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mt := m.Metrics()
+		resp := MetricsResponse{
+			Sessions:        mt.Sessions,
+			SessionsByState: mt.SessionsByState,
+			Observations:    mt.Observations,
+			Evictions:       mt.Evictions,
+			WarmStarts:      mt.WarmStarts,
+			RepoEntries:     mt.RepoEntries,
+			Persistence:     mt.Persistence,
+			JournalError:    mt.JournalError,
+		}
+		if mt.Persistence {
+			resp.WALBytes = mt.Store.WALBytes
+			resp.WALEvents = mt.Store.WALEvents
+			resp.Snapshots = mt.Store.Snapshots
+			resp.SnapshotBytes = mt.Store.SnapshotBytes
+			if !mt.Store.LastCompaction.IsZero() {
+				t := mt.Store.LastCompaction
+				resp.LastCompaction = &t
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {

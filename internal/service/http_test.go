@@ -13,6 +13,7 @@ import (
 	"relm/internal/sim"
 	"relm/internal/sim/cluster"
 	"relm/internal/sim/workload"
+	"relm/internal/store"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -177,4 +178,46 @@ func TestHTTPListAndHealth(t *testing.T) {
 	if code := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK {
 		t.Fatalf("healthz: status %d", code)
 	}
+}
+
+// TestHTTPMetrics exercises the observability endpoint against a
+// persistent manager: session counts by state, observation totals, and the
+// store's WAL counters.
+func TestHTTPMetrics(t *testing.T) {
+	m := NewManager(Options{Workers: 2, Store: store.NewMem()})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+
+	var created StatusResponse
+	doJSON(t, http.MethodPost, srv.URL+"/v1/sessions", CreateRequest{Backend: "bo", Workload: "SVM", Seed: 1}, &created)
+	var sug SuggestResponse
+	doJSON(t, http.MethodPost, srv.URL+"/v1/sessions/"+created.ID+"/suggest", nil, &sug)
+	res, prof := sim.Run(cluster.A(), mustWorkload(t, "SVM"), sug.Config.toConfig(), 77)
+	st := profile.Generate(prof)
+	doJSON(t, http.MethodPost, srv.URL+"/v1/sessions/"+created.ID+"/observe",
+		ObserveRequest{Config: sug.Config, RuntimeSec: res.RuntimeSec, Aborted: res.Aborted, Stats: &st}, nil)
+
+	var mt MetricsResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/metrics", nil, &mt); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if mt.Sessions != 1 || mt.SessionsByState[StateActive] != 1 {
+		t.Fatalf("session counts wrong: %+v", mt)
+	}
+	if mt.Observations != 1 {
+		t.Fatalf("observations = %d, want 1", mt.Observations)
+	}
+	if !mt.Persistence || mt.WALEvents == 0 || mt.WALBytes == 0 {
+		t.Fatalf("store counters missing: %+v", mt)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	wl, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return wl
 }

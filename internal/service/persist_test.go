@@ -1,0 +1,828 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"relm/internal/conf"
+	"sync"
+	"testing"
+	"time"
+
+	"relm/internal/store"
+)
+
+// crash stops a Manager's goroutines without snapshotting or closing the
+// store — the in-process stand-in for SIGKILL. Everything the restarted
+// manager may rely on must already be in the write-ahead log.
+func crash(m *Manager) {
+	m.closed.Store(true)
+	close(m.quit)
+	m.wg.Wait()
+}
+
+// historiesEqual compares two session histories entry by entry (DeepEqual
+// covers configs, runtimes, objectives, abort flags, and stats values).
+func historiesEqual(a, b []HistoryEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func waitState(t *testing.T, m *Manager, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed {
+			t.Fatalf("session %s failed: %+v", id, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck in %q waiting for %q", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKillAndRestoreRemote journals a multi-session remote run, drops the
+// Manager mid-flight, restores into a fresh Manager, and asserts identical
+// histories and statuses — then keeps driving the restored sessions
+// concurrently (run with -race).
+func TestKillAndRestoreRemote(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three remote sessions on different backends, each fed a few real
+	// (simulated) measurements; one is closed before the crash.
+	specs := []Spec{
+		{Backend: "bo", Workload: "K-means", Seed: 3, MaxIterations: 6},
+		{Backend: "gbo", Workload: "SortByKey", Seed: 4, MaxIterations: 6},
+		{Backend: "relm", Workload: "PageRank", Seed: 5},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		st, err := m1.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+		for step := 0; step < 3; step++ {
+			cfg, done, err := m1.Suggest(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+			obs := measure(t, spec.Cluster, spec.Workload, Observation{Config: cfg}, uint64(50*i+step))
+			if _, err := m1.Observe(st.ID, obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	closedSt, err := m1.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.CloseSession(closedSt.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	before := make(map[string]Status)
+	histories := make(map[string][]HistoryEntry)
+	nextSuggest := make(map[string]string)
+	for _, id := range ids {
+		st, err := m1.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = st
+		hist, err := m1.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		histories[id] = hist
+		cfg, _, err := m1.Suggest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextSuggest[id] = fmt.Sprintf("%+v", cfg)
+	}
+
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	if m2.Len() != len(ids) {
+		t.Fatalf("restored %d sessions, want %d (closed one must stay closed)", m2.Len(), len(ids))
+	}
+	if _, err := m2.Get(closedSt.ID); err != ErrNotFound {
+		t.Fatalf("tombstoned session resurrected: err=%v", err)
+	}
+	if err := m2.CloseSession(closedSt.ID); err != nil {
+		t.Fatalf("close of tombstoned session after restart: %v, want idempotent nil", err)
+	}
+
+	for _, id := range ids {
+		st, err := m2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := before[id]
+		if st.State != want.State || st.Evals != want.Evals || st.Done != want.Done || st.Backend != want.Backend {
+			t.Fatalf("restored status mismatch for %s:\n got %+v\nwant %+v", id, st, want)
+		}
+		if (st.Best == nil) != (want.Best == nil) {
+			t.Fatalf("restored best presence mismatch for %s", id)
+		}
+		if st.Best != nil && (*st.Best != *want.Best) {
+			t.Fatalf("restored best mismatch for %s: %+v vs %+v", id, st.Best, want.Best)
+		}
+		hist, err := m2.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !historiesEqual(hist, histories[id]) {
+			t.Fatalf("restored history differs for %s:\n got %+v\nwant %+v", id, hist, histories[id])
+		}
+		// The rebuilt tuner continues exactly where the original stood.
+		cfg, _, err := m2.Suggest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%+v", cfg); got != nextSuggest[id] {
+			t.Fatalf("restored suggestion differs for %s: %s vs %s", id, got, nextSuggest[id])
+		}
+	}
+
+	// New sessions never collide with journaled IDs.
+	st, err := m2.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range append(append([]string(nil), ids...), closedSt.ID) {
+		if st.ID == id {
+			t.Fatalf("new session reused journaled ID %s", id)
+		}
+	}
+
+	// Suggest/observe keeps working on the restored sessions, concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ids)*8)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for step := 0; step < 4; step++ {
+				cfg, done, err := m2.Suggest(id)
+				if err != nil {
+					errs <- fmt.Errorf("suggest %s: %w", id, err)
+					return
+				}
+				if done {
+					return
+				}
+				if _, err := m2.Observe(id, Observation{Config: cfg, RuntimeSec: 120 + float64(step)}); err != nil {
+					errs <- fmt.Errorf("observe %s: %w", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRestoredAutoSessionMatchesUninterrupted crashes an auto session
+// mid-flight, restores it, lets the worker pool finish it, and asserts the
+// stitched history is identical to an uninterrupted run — replay fidelity
+// down to the simulator seeds and the tuner's RNG stream, for the
+// surrogate-based backends and the stateful DDPG agent alike.
+func TestRestoredAutoSessionMatchesUninterrupted(t *testing.T) {
+	for _, backend := range []string{"bo", "gbo", "ddpg"} {
+		t.Run(backend, func(t *testing.T) {
+			testRestoredAutoMatches(t, Spec{
+				Backend: backend, Workload: "K-means", Mode: ModeAuto,
+				Seed: 6, MaxIterations: 4, MaxSteps: 5,
+			})
+		})
+	}
+}
+
+func testRestoredAutoMatches(t *testing.T, spec Spec) {
+	// Reference: the same session driven to completion with no restart.
+	ref := newTestManager(t, Options{Workers: 1})
+	refSt, err := ref.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFinal := waitState(t, ref, refSt.ID, StateDone)
+	refHist, err := ref.History(refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the worker record at least one experiment, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := m1.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Evals >= 1 || cur.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto session never recorded an experiment")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	final := waitState(t, m2, st.ID, StateDone)
+	hist, err := m2.History(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !historiesEqual(hist, refHist) {
+		t.Fatalf("restored-and-continued history differs from uninterrupted run:\n got %d evals %+v\nwant %d evals %+v",
+			len(hist), hist, len(refHist), refHist)
+	}
+	if refFinal.Best == nil || final.Best == nil || *final.Best != *refFinal.Best {
+		t.Fatalf("best mismatch: %+v vs %+v", final.Best, refFinal.Best)
+	}
+}
+
+// TestWarmStartFewerSteps is the §6.6 acceptance test: after a cold
+// session completes on a workload, a new session with a matching
+// fingerprint must be seeded from the repository, reach the completed
+// session's best runtime, and use measurably fewer suggest/observe steps.
+func TestWarmStartFewerSteps(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 2, Store: store.NewMem()})
+
+	// The cold session opts into the §6.6 protocol too: the repository is
+	// empty so it stays cold, but its fingerprinting run of the default
+	// configuration makes it matchable once harvested.
+	cold, err := m.Create(Spec{Backend: "bo", Workload: "PageRank", Mode: ModeAuto, Seed: 1, MaxIterations: 8, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldFinal := waitState(t, m, cold.ID, StateDone)
+	if coldFinal.WarmStarted {
+		t.Fatalf("cold session claims a warm start: %+v", coldFinal)
+	}
+	if coldFinal.Best == nil {
+		t.Fatal("cold session found no best")
+	}
+	mt := m.Metrics()
+	if mt.RepoEntries != 1 {
+		t.Fatalf("completed session not harvested: %d repo entries", mt.RepoEntries)
+	}
+
+	warm, err := m.Create(Spec{Backend: "bo", Workload: "PageRank", Mode: ModeAuto, Seed: 2, MaxIterations: 8, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmFinal := waitState(t, m, warm.ID, StateDone)
+	if !warmFinal.WarmStarted {
+		t.Fatalf("matching session was not warm-started: %+v", warmFinal)
+	}
+	if warmFinal.WarmSource != "PageRank" {
+		t.Fatalf("warm source = %q, want PageRank", warmFinal.WarmSource)
+	}
+	if warmFinal.WarmDistance < 0 || warmFinal.WarmDistance > 0.25 {
+		t.Fatalf("warm distance = %v, want within the 0.25 threshold", warmFinal.WarmDistance)
+	}
+	if warmFinal.Evals >= coldFinal.Evals {
+		t.Fatalf("warm start took %d evals, cold took %d — no savings", warmFinal.Evals, coldFinal.Evals)
+	}
+	if warmFinal.Best == nil {
+		t.Fatal("warm session found no best")
+	}
+	// The warm session confirms the transferred optimum, so its best
+	// runtime matches the cold session's up to simulator noise.
+	if warmFinal.Best.RuntimeSec > coldFinal.Best.RuntimeSec*1.10 {
+		t.Fatalf("warm best %.1fs does not reach cold best %.1fs",
+			warmFinal.Best.RuntimeSec, coldFinal.Best.RuntimeSec)
+	}
+	if m.Metrics().WarmStarts != 1 {
+		t.Fatalf("warm-start counter = %d, want 1", m.Metrics().WarmStarts)
+	}
+
+	// A non-matching cluster must not be warm-started (§6.6: models do not
+	// transfer across hardware).
+	other, err := m.Create(Spec{Backend: "bo", Workload: "PageRank", Cluster: "B", Mode: ModeAuto, Seed: 3, MaxIterations: 2, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherFinal := waitState(t, m, other.ID, StateDone)
+	if otherFinal.WarmStarted {
+		t.Fatalf("cluster-B session warm-started from a cluster-A model: %+v", otherFinal)
+	}
+}
+
+// TestWarmStartSurvivesRestart: the repository is part of the durable
+// state — a completed session's model warm-starts sessions created after a
+// restart.
+func TestWarmStartSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := m1.Create(Spec{Backend: "bo", Workload: "K-means", Mode: ModeAuto, Seed: 1, MaxIterations: 4, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, cold.ID, StateDone)
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if n := m2.Metrics().RepoEntries; n != 1 {
+		t.Fatalf("repository lost across restart: %d entries", n)
+	}
+	warm, err := m2.Create(Spec{Backend: "gbo", Workload: "K-means", Mode: ModeAuto, Seed: 2, MaxIterations: 4, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmFinal := waitState(t, m2, warm.ID, StateDone)
+	if !warmFinal.WarmStarted {
+		t.Fatalf("post-restart session not warm-started: %+v", warmFinal)
+	}
+}
+
+// TestRestoreAfterCompaction forces snapshots mid-run and verifies restore
+// stitches snapshot + log correctly.
+func TestRestoreAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m1.Create(Spec{Backend: "bo", Workload: "WordCount", Seed: 8, MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		cfg, done, err := m1.Suggest(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if _, err := m1.Observe(st.ID, Observation{Config: cfg, RuntimeSec: 200 - float64(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshotter runs asynchronously; wait for at least one compaction.
+	deadline := time.Now().Add(30 * time.Second)
+	for fs.Metrics().Snapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no compaction happened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	hist, err := m1.History(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, err := m2.History(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !historiesEqual(got, hist) {
+		t.Fatalf("post-compaction restore differs:\n got %+v\nwant %+v", got, hist)
+	}
+}
+
+// TestEvictionTombstoneSurvivesRestart: a TTL-evicted session must not be
+// resurrected by replay, and the eviction counter carries over.
+func TestEvictionTombstoneSurvivesRestart(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, TTL: time.Minute, Now: clock, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Create(Spec{Backend: "bo", Workload: "SVM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := m1.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	// Touch the keeper so only the first session is idle.
+	if _, _, err := m1.Suggest(keep.ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := m1.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d, want 1", n)
+	}
+	// Take a snapshot too: the tombstone must survive compaction.
+	if err := m1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, TTL: time.Minute, Now: clock, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := m2.Get(st.ID); err != ErrNotFound {
+		t.Fatalf("evicted session resurrected: err=%v", err)
+	}
+	if _, err := m2.Get(keep.ID); err != nil {
+		t.Fatalf("live session lost: %v", err)
+	}
+	if n := m2.Metrics().Evictions; n != 1 {
+		t.Fatalf("eviction counter lost: %d", n)
+	}
+}
+
+// TestCleanCloseRestoresFromSnapshot: Close takes a final snapshot, so the
+// next Open restores sessions without any log to replay.
+func TestCleanCloseRestoresFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Create(Spec{Backend: "bo", Workload: "K-means", Seed: 12, MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		cfg, _, err := m1.Suggest(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m1.Observe(st.ID, Observation{Config: cfg, RuntimeSec: 150 + float64(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := m1.History(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close() // snapshots and closes the store
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, events, err := fs2.Load(); err != nil {
+		t.Fatal(err)
+	} else if len(events) != 0 {
+		t.Fatalf("clean close left %d unreplayed events", len(events))
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, err := m2.History(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !historiesEqual(got, hist) {
+		t.Fatalf("snapshot-only restore differs:\n got %+v\nwant %+v", got, hist)
+	}
+	if cur, err := m2.Get(st.ID); err != nil || cur.State != StateActive {
+		t.Fatalf("restored session not active: %+v err=%v", cur, err)
+	}
+}
+
+// BenchmarkStoreReplay measures crash recovery: loading the log and
+// rebuilding every session's tuner from its journaled history.
+func BenchmarkStoreReplay(b *testing.B) {
+	dir := b.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Open(Options{Workers: 1, Store: fs, SnapshotEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sessions, observes = 16, 6
+	for i := 0; i < sessions; i++ {
+		st, err := m.Create(Spec{Backend: "bo", Workload: "K-means", Seed: uint64(i), MaxIterations: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < observes; j++ {
+			cfg, done, err := m.Suggest(st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				break
+			}
+			if _, err := m.Observe(st.ID, Observation{Config: cfg, RuntimeSec: 100 + float64(i*7+j)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	crash(m)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs2, err := store.OpenFile(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2 := newManager(Options{Workers: 1, Store: fs2})
+		snap, events, err := fs2.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m2.restore(snap, events); err != nil {
+			b.Fatal(err)
+		}
+		if m2.Len() != sessions {
+			b.Fatalf("restored %d sessions, want %d", m2.Len(), sessions)
+		}
+		if err := fs2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestObservationCounterSurvivesSnapshotRestore: the lifetime observation
+// counter is carried by the snapshot, not recounted from live histories.
+func TestObservationCounterSurvivesSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		cfg, _, err := m1.Suggest(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m1.Observe(st.ID, Observation{Config: cfg, RuntimeSec: 90 + float64(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// One more observation after the snapshot: replay stitches log on top.
+	cfg, _, err := m1.Suggest(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Observe(st.ID, Observation{Config: cfg, RuntimeSec: 89}); err != nil {
+		t.Fatal(err)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if n := m2.Metrics().Observations; n != 4 {
+		t.Fatalf("observation counter after snapshot+log restore = %d, want 4", n)
+	}
+}
+
+// TestTombstonePruning: compaction drops tombstones whose close event it
+// folded in (the log can no longer resurrect them) and keeps the rest, so
+// the tombstone set does not grow with lifetime session count.
+func TestTombstonePruning(t *testing.T) {
+	fs := store.NewMem()
+	m, err := Open(Options{Workers: 1, Store: fs, SnapshotEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var closed []string
+	for i := 0; i < 6; i++ {
+		st, err := m.Create(Spec{Backend: "bo", Workload: "SVM", Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CloseSession(st.ID); err != nil {
+			t.Fatal(err)
+		}
+		closed = append(closed, st.ID)
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		total += len(sh.closed)
+		sh.mu.RUnlock()
+	}
+	if total != 0 {
+		t.Fatalf("%d tombstones survived compaction, want 0 (all close events folded in)", total)
+	}
+	// Pruned tombstones lose close-idempotency (ErrNotFound again), but
+	// replay safety holds: the compacted log has no creates to resurrect.
+	snap, events, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Closed) != 0 || len(events) != 0 {
+		t.Fatalf("snapshot kept %d tombstones, log kept %d events", len(snap.Closed), len(events))
+	}
+	m2 := newManager(Options{Workers: 1, Store: fs})
+	if _, err := m2.restore(snap, events); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range closed {
+		if _, err := m2.get(id); err != ErrNotFound {
+			t.Fatalf("closed session %s resurrected after pruning", id)
+		}
+	}
+
+	// Close + compact again: whether the tombstone is pruned or kept, the
+	// session must stay gone after another restore.
+	st, err := m.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseSession(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snap2, events2, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := newManager(Options{Workers: 1, Store: fs})
+	if _, err := m3.restore(snap2, events2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.get(st.ID); err != ErrNotFound {
+		t.Fatalf("closed session %s resurrected", st.ID)
+	}
+}
+
+// TestRestoredUnsolicitedDDPG: a DDPG client that only reports unsolicited
+// observations (never calls suggest) folds them into the RL state; the
+// restored tuner must land in the same state and produce the same next
+// suggestion as the live one.
+func TestRestoredUnsolicitedDDPG(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Open(Options{Workers: 1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Create(Spec{Backend: "ddpg", Workload: "K-means", Seed: 3, MaxSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay historical runs without ever asking for a suggestion.
+	for i, o := range []Observation{
+		measure(t, "", "K-means", Observation{Config: conf.Default()}, 21),
+		measure(t, "", "K-means", Observation{Config: conf.DefaultShuffle()}, 22),
+	} {
+		if _, err := m1.Observe(st.ID, o); err != nil {
+			t.Fatalf("unsolicited observe %d: %v", i, err)
+		}
+	}
+	cfg1, _, err := m1.Suggest(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Workers: 1, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	cfg2, _, err := m2.Suggest(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg1 != cfg2 {
+		t.Fatalf("restored ddpg suggestion differs after unsolicited-only history:\n got %+v\nwant %+v", cfg2, cfg1)
+	}
+}

@@ -11,15 +11,30 @@
 //	create (remote) → suggest → observe → … → done → close/evict
 //	create (auto)   → queued  → running (worker pool) → done
 //
-// All Manager and Session methods are safe for concurrent use.
+// Two durable layers ride on an optional store.Store (persist.go):
+//
+//   - Session persistence: every state transition is journaled to a
+//     write-ahead log with periodic compacted snapshots, and Open replays
+//     the log so a restarted server resumes every open session with full
+//     history and a tuner rebuilt to its exact replayed state.
+//   - Cross-session warm starts: completed sessions feed a shared
+//     bo.Repository keyed by workload fingerprint (§6.6 model re-use), and
+//     Create consults it to warm-start new BO/GBO sessions whose
+//     fingerprint matches within a distance threshold.
+//
+// All Manager and Session methods are safe for concurrent use. The session
+// map is striped across lock shards, so sessions on different shards never
+// contend.
 package service
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relm/internal/bo"
@@ -30,6 +45,7 @@ import (
 	"relm/internal/profile"
 	"relm/internal/sim/cluster"
 	"relm/internal/sim/workload"
+	"relm/internal/store"
 	"relm/internal/tune"
 )
 
@@ -69,6 +85,20 @@ type Options struct {
 	// MaxAutoEvals caps the experiments one auto session may run
 	// (default 200) as a guard against non-terminating tuners.
 	MaxAutoEvals int
+	// Shards is the number of lock stripes of the session map (default 16).
+	Shards int
+	// Store, when non-nil, journals every session event to a write-ahead
+	// log and persists the shared model repository. Open replays it on
+	// startup; the Manager takes ownership and closes it on Close.
+	Store store.Store
+	// SnapshotEvery compacts the log into a snapshot once it holds this
+	// many events (default 1024). Ignored without a Store.
+	SnapshotEvery int
+	// WarmMaxDistance is the default fingerprint-distance threshold for
+	// warm-start matching (default 0.25; per-session Spec overrides it).
+	// Re-profiles of one workload land within ~0.05 of each other;
+	// different workload classes differ by 0.5 or more.
+	WarmMaxDistance float64
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -85,6 +115,15 @@ func (o *Options) fill() {
 	}
 	if o.MaxAutoEvals == 0 {
 		o.MaxAutoEvals = 200
+	}
+	if o.Shards == 0 {
+		o.Shards = 16
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	if o.WarmMaxDistance == 0 {
+		o.WarmMaxDistance = 0.25
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -108,6 +147,26 @@ type Spec struct {
 	MaxIterations int
 	// MaxSteps caps DDPG steps (0 = paper default).
 	MaxSteps int
+
+	// WarmStart asks the Manager to match this session's workload
+	// fingerprint against the shared model repository and, on a hit,
+	// warm-start the optimizer with the matched session's observations
+	// (§6.6 model re-use; BO and GBO backends only). Remote sessions
+	// supply the fingerprint via Stats; auto sessions profile the default
+	// configuration on the simulator as their first experiment.
+	WarmStart bool
+	// WarmMaxDistance overrides the Manager's fingerprint-distance
+	// threshold for this session (0 = manager default).
+	WarmMaxDistance float64
+	// Stats is the session's workload fingerprint: the Table 6 statistics
+	// of a default-configuration run, measured by the client. Used for
+	// warm-start matching of remote sessions and as the harvest
+	// fingerprint when the session completes.
+	Stats *profile.Stats
+	// DefaultRuntimeSec is the default-configuration runtime matching
+	// Stats; matched prior observations are rescaled by the ratio of
+	// default runtimes before seeding the optimizer.
+	DefaultRuntimeSec float64
 }
 
 // Observation is one measured experiment reported to a session.
@@ -115,6 +174,9 @@ type Observation struct {
 	Config     conf.Config
 	RuntimeSec float64
 	Aborted    bool
+	// GCOverhead optionally reports the run's average fraction of task
+	// time spent in GC; DDPG folds it into its state vector.
+	GCOverhead float64
 	// Stats optionally carries the client's Table 6 profile statistics;
 	// RelM requires them, GBO and DDPG use them when present.
 	Stats *profile.Stats
@@ -141,6 +203,12 @@ type Status struct {
 	Err      string
 	Created  time.Time
 	LastUsed time.Time
+
+	// WarmStarted reports whether the session was seeded from the model
+	// repository; WarmSource and WarmDistance identify the matched entry.
+	WarmStarted  bool
+	WarmSource   string
+	WarmDistance float64
 }
 
 // HistoryEntry is one recorded experiment of a session.
@@ -149,6 +217,17 @@ type HistoryEntry struct {
 	RuntimeSec float64
 	Objective  float64
 	Aborted    bool
+	// GCOverhead is the run's average fraction of task time spent in GC
+	// (simulator-measured or client-reported); DDPG folds it into its
+	// state vector.
+	GCOverhead float64
+	// Stats are the Table 6 statistics attached to or derived from the
+	// observation, when available.
+	Stats *profile.Stats
+	// Suggested reports whether a suggestion was outstanding when the
+	// observation arrived; restore replays the suggest/observe
+	// interleaving from it.
+	Suggested bool
 }
 
 // Session is one live tuning session. All fields behind mu.
@@ -161,67 +240,189 @@ type Session struct {
 	space tune.Space
 	ev    *tune.Evaluator // simulator harness (auto mode)
 
-	history  []HistoryEntry
-	obj      tune.Objectives // the paper's abort-penalty objective (§6.1)
-	state    string
-	err      error
-	created  time.Time
-	lastUsed time.Time
+	history   []HistoryEntry
+	obj       tune.Objectives // the paper's abort-penalty objective (§6.1)
+	state     string
+	err       error
+	created   time.Time
+	lastUsed  time.Time
+	warm      *store.Warm // applied warm start, nil if none
+	harvested bool        // session already fed the model repository
+	suggested bool        // a suggestion is outstanding (armed, unconsumed)
 }
+
+// shard is one lock stripe of the session map. closed maps tombstoned
+// session IDs to the sequence number of their journaled close event (or
+// tombstoneKept while the event is in flight / absent); compaction prunes
+// a tombstone once the log no longer holds events that could resurrect
+// the ID.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	closed   map[string]uint64
+}
+
+// tombstoneKept marks a tombstone that must survive every compaction:
+// its close event is not (yet) known to be folded into a snapshot.
+const tombstoneKept = ^uint64(0)
 
 // Manager multiplexes concurrent tuning sessions.
 type Manager struct {
 	opts Options
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	nextID   uint64
-	closed   bool
+	shards []*shard
+	count  atomic.Int64  // live sessions (MaxSessions gate)
+	nextID atomic.Uint64 // session-ID counter
+	closed atomic.Bool
+	// life fences Create against Close: Create registers and journals a
+	// session under the read lock, Close takes the write lock once after
+	// flipping closed — so no create event can reach the store after Close
+	// starts tearing it down (a journaled create with no tombstone would
+	// resurrect a session its caller was told failed).
+	life sync.RWMutex
 
-	jobs chan *Session
-	quit chan struct{}
-	wg   sync.WaitGroup
+	repoMu    sync.Mutex
+	repo      *bo.Repository
+	harvested map[string]struct{} // session IDs already in repo
+
+	evictions    atomic.Int64
+	observations atomic.Int64
+	warmStarts   atomic.Int64
+	sinceSnap    atomic.Int64 // events journaled since the last compaction signal
+	snapMu       sync.Mutex   // serializes whole Snapshot calls
+	journalErr   atomic.Pointer[string]
+	replaying    bool // set during Open's replay; suppresses journaling
+
+	jobs   chan *Session
+	quit   chan struct{}
+	snapCh chan struct{}
+	wg     sync.WaitGroup
 }
 
-// NewManager starts a manager with its worker pool and TTL janitor.
+// NewManager starts a manager with its worker pool and TTL janitor. It is
+// the store-less constructor: for a persistent manager use Open, which can
+// report a recovery failure — NewManager panics on one.
 func NewManager(opts Options) *Manager {
+	m, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("service: NewManager: %v (use Open with a Store)", err))
+	}
+	return m
+}
+
+// Open starts a manager, restoring every session journaled in opts.Store:
+// it loads the latest snapshot, replays the write-ahead log on top (see
+// persist.go), rebuilds each open session's tuner by re-observing its
+// history, and re-queues interrupted auto sessions on the worker pool. The
+// Manager takes ownership of the Store and closes it on Close.
+func Open(opts Options) (*Manager, error) {
+	m := newManager(opts)
+	var autos []*Session
+	if m.opts.Store != nil {
+		snap, events, err := m.opts.Store.Load()
+		if err != nil {
+			return nil, err
+		}
+		autos, err = m.restore(snap, events)
+		if err != nil {
+			return nil, err
+		}
+		// A log already past the threshold gets compacted as soon as the
+		// snapshotter starts instead of waiting for SnapshotEvery more.
+		m.sinceSnap.Store(int64(len(events)))
+		if len(events) >= m.opts.SnapshotEvery {
+			m.snapCh <- struct{}{}
+		}
+	}
+	m.start(autos)
+	return m, nil
+}
+
+// newManager builds the Manager shell: shards, repository, channels — no
+// goroutines and no recovery. Open composes it with restore and start.
+func newManager(opts Options) *Manager {
 	opts.fill()
 	m := &Manager{
-		opts:     opts,
-		sessions: make(map[string]*Session),
-		jobs:     make(chan *Session, 256),
-		quit:     make(chan struct{}),
+		opts:      opts,
+		shards:    make([]*shard, opts.Shards),
+		repo:      &bo.Repository{},
+		harvested: make(map[string]struct{}),
+		quit:      make(chan struct{}),
+		snapCh:    make(chan struct{}, 1),
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: make(map[string]*Session), closed: make(map[string]uint64)}
+	}
+	return m
+}
+
+// start launches the worker pool, janitor, and snapshotter, then re-queues
+// restored auto sessions.
+func (m *Manager) start(autos []*Session) {
+	opts := m.opts
+	jobsCap := 256
+	if n := len(autos) + opts.Workers; n > jobsCap {
+		jobsCap = n
+	}
+	m.jobs = make(chan *Session, jobsCap)
+
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	m.wg.Add(1)
 	go m.janitor()
-	return m
+	if opts.Store != nil {
+		m.wg.Add(1)
+		go m.snapshotter()
+	}
+	for _, s := range autos {
+		m.jobs <- s
+	}
 }
 
-// Close stops the worker pool and janitor and closes every session.
+// Close stops the worker pool and janitor, takes a final snapshot (so a
+// later Open restores instantly, without replaying the log), closes the
+// store, and closes every in-memory session.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
-	m.closed = true
-	sessions := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		sessions = append(sessions, s)
-	}
-	m.mu.Unlock()
-
+	// Barrier: wait out in-flight Creates so every journaled create is
+	// either visible to the final snapshot or rolled back with a tombstone
+	// before the store closes.
+	m.life.Lock()
+	m.life.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	close(m.quit)
-	for _, s := range sessions {
-		s.mu.Lock()
-		s.state = StateClosed
-		s.mu.Unlock()
-	}
 	m.wg.Wait()
+
+	// Snapshot with live states — shutdown is not session close; a
+	// restarted manager resumes these sessions.
+	if m.opts.Store != nil {
+		_ = m.Snapshot()
+		_ = m.opts.Store.Close()
+	}
+
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			s.state = StateClosed
+			s.mu.Unlock()
+		}
+	}
+}
+
+// shardFor maps a session ID onto its lock stripe.
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
 }
 
 // resolve maps a Spec's symbolic names onto concrete cluster, workload, and
@@ -264,6 +465,43 @@ func newTuner(spec Spec, cl cluster.Spec, sp tune.Space) (tune.Tuner, error) {
 	}
 }
 
+// warmStarter is implemented by tuners that accept repository priors
+// (bo.Tuner and gbo.Tuner).
+type warmStarter interface {
+	WarmStart([]bo.PriorPoint)
+}
+
+// applyWarm seeds a tuner with a recorded warm start; false when the
+// backend does not support priors.
+func applyWarm(t tune.Tuner, w *store.Warm) bool {
+	ws, ok := t.(warmStarter)
+	if !ok {
+		return false
+	}
+	ws.WarmStart(w.Points)
+	return true
+}
+
+// matchWarm consults the model repository for a same-cluster entry within
+// the distance threshold and returns the rescaled prior, or nil on a miss.
+func (m *Manager) matchWarm(clusterName string, fp profile.Stats, maxDistance, defaultSec float64) *store.Warm {
+	if maxDistance <= 0 {
+		maxDistance = m.opts.WarmMaxDistance
+	}
+	m.repoMu.Lock()
+	defer m.repoMu.Unlock()
+	entry, d, ok := m.repo.Match(clusterName, fp, maxDistance)
+	if !ok {
+		return nil
+	}
+	return &store.Warm{
+		Source:   entry.Workload,
+		Cluster:  entry.ClusterName,
+		Distance: d,
+		Points:   entry.RescaledPoints(defaultSec),
+	}
+}
+
 // Create opens a new session and, in auto mode, enqueues it on the worker
 // pool.
 func (m *Manager) Create(spec Spec) (Status, error) {
@@ -299,38 +537,70 @@ func (m *Manager) Create(spec Spec) (Status, error) {
 		s.state = StateQueued
 	}
 
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	// Warm start with a client-supplied fingerprint: match before the
+	// session becomes visible, so its first suggestion is already the
+	// transferred optimum. Auto sessions without a fingerprint profile the
+	// default configuration in the worker instead (drive).
+	if spec.WarmStart && spec.Stats != nil {
+		if w := m.matchWarm(cl.Name, *spec.Stats, spec.WarmMaxDistance, spec.DefaultRuntimeSec); w != nil {
+			if applyWarm(t, w) {
+				s.warm = w
+				m.warmStarts.Add(1)
+			}
+		}
+	}
+
+	m.life.RLock()
+	defer m.life.RUnlock()
+	if m.closed.Load() {
 		return Status{}, ErrManagerDown
 	}
-	if len(m.sessions) >= m.opts.MaxSessions {
-		m.mu.Unlock()
+	if m.count.Add(1) > int64(m.opts.MaxSessions) {
+		m.count.Add(-1)
 		return Status{}, ErrTooMany
 	}
-	m.nextID++
-	s.id = fmt.Sprintf("sess-%d", m.nextID)
-	m.sessions[s.id] = s
-	m.mu.Unlock()
+	s.id = fmt.Sprintf("sess-%d", m.nextID.Add(1))
+
+	sh := m.shardFor(s.id)
+	sh.mu.Lock()
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+
+	m.journal(&store.Event{Type: store.EventCreate, ID: s.id, Time: now, Spec: specRecord(spec)})
+	if s.warm != nil {
+		m.journal(&store.Event{Type: store.EventWarm, ID: s.id, Time: now, Warm: s.warm})
+	}
 
 	if mode == ModeAuto {
 		select {
 		case m.jobs <- s:
 		default:
-			m.mu.Lock()
-			delete(m.sessions, s.id)
-			m.mu.Unlock()
+			m.removeSession(s.id)
+			m.journalClose(s.id, now)
 			return Status{}, ErrBusy
 		}
 	}
 	return m.statusOf(s), nil
 }
 
+// removeSession drops a session from its shard, leaving a tombstone.
+func (m *Manager) removeSession(id string) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[id]; ok {
+		delete(sh.sessions, id)
+		sh.closed[id] = tombstoneKept
+		m.count.Add(-1)
+	}
+	sh.mu.Unlock()
+}
+
 // get looks a live session up.
 func (m *Manager) get(id string) (*Session, error) {
-	m.mu.RLock()
-	s, ok := m.sessions[id]
-	m.mu.RUnlock()
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -350,7 +620,10 @@ func (m *Manager) Suggest(id string) (conf.Config, bool, error) {
 		return conf.Config{}, false, ErrClosed
 	}
 	s.lastUsed = m.opts.Now()
-	return s.tuner.Suggest(), s.tuner.Done(), nil
+	m.journal(&store.Event{Type: store.EventSuggest, ID: s.id, Time: s.lastUsed})
+	cfg := s.tuner.Suggest()
+	s.suggested = true
+	return cfg, s.tuner.Done(), nil
 }
 
 // Observe reports one measured experiment to the session and returns its
@@ -383,11 +656,11 @@ func (m *Manager) Observe(id string, obs Observation) (Status, error) {
 	}
 	smp.Result.RuntimeSec = obs.RuntimeSec
 	smp.Result.Aborted = obs.Aborted
+	smp.Result.GCOverhead = obs.GCOverhead
 
-	s.tuner.Observe(smp)
-	s.record(smp)
+	m.observeLocked(s, smp)
 	s.lastUsed = m.opts.Now()
-	s.refreshStateLocked()
+	m.refreshStateLocked(s)
 	return m.statusLocked(s), nil
 }
 
@@ -426,32 +699,56 @@ func (m *Manager) History(id string) ([]HistoryEntry, error) {
 	return append([]HistoryEntry(nil), s.history...), nil
 }
 
-// CloseSession closes a session and removes it from the store. A worker
-// currently driving it notices the state flip and abandons it.
+// CloseSession closes a session, removes it from the store, and journals a
+// tombstone so replay does not resurrect it. Closing an already-closed
+// session is a no-op; only a session the manager has never seen reports
+// ErrNotFound. A worker currently driving the session notices the state
+// flip and abandons it.
 func (m *Manager) CloseSession(id string) error {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if ok {
-		delete(m.sessions, id)
+		delete(sh.sessions, id)
+		sh.closed[id] = tombstoneKept
+		m.count.Add(-1)
+	} else if _, was := sh.closed[id]; was {
+		sh.mu.Unlock()
+		return nil // idempotent: already closed or evicted
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
+		// Tombstones are pruned once compaction makes them unnecessary, so
+		// an absent entry does not mean the ID is foreign: every ID this
+		// manager lineage has issued (persisted via NextID) that is no
+		// longer live must have been closed or evicted — stay idempotent
+		// for those, and report ErrNotFound only for IDs never issued.
+		if num, ok := sessionNum(id); ok && num > 0 && num <= m.nextID.Load() &&
+			id == fmt.Sprintf("sess-%d", num) { // canonical form only: "sess-007" was never issued
+			return nil
+		}
 		return ErrNotFound
 	}
 	s.mu.Lock()
 	s.state = StateClosed
 	s.mu.Unlock()
+	// Journaled after the state flip: any in-flight observe either
+	// journaled before the flip (under s.mu) or sees the closed state, so
+	// the tombstone is always the session's last event in the log.
+	m.journalClose(id, m.opts.Now())
 	return nil
 }
 
 // List returns a status snapshot of every live session.
 func (m *Manager) List() []Status {
-	m.mu.RLock()
-	sessions := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		sessions = append(sessions, s)
+	var sessions []*Session
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
 	}
-	m.mu.RUnlock()
 	out := make([]Status, 0, len(sessions))
 	for _, s := range sessions {
 		out = append(out, m.statusOf(s))
@@ -461,49 +758,170 @@ func (m *Manager) List() []Status {
 
 // Len returns the number of live sessions.
 func (m *Manager) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.sessions)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Sweep evicts sessions idle past the TTL and returns how many it removed.
-// The janitor calls it periodically; tests call it directly.
+// Sweep evicts sessions idle past the TTL, journaling a tombstone for each
+// so replay does not resurrect them, and returns how many it removed. The
+// janitor calls it periodically; tests call it directly.
 func (m *Manager) Sweep() int {
 	now := m.opts.Now()
-	m.mu.Lock()
 	var evict []*Session
-	for id, s := range m.sessions {
-		s.mu.Lock()
-		idle := now.Sub(s.lastUsed) > m.opts.TTL
-		s.mu.Unlock()
-		if idle {
-			evict = append(evict, s)
-			delete(m.sessions, id)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			s.mu.Lock()
+			idle := now.Sub(s.lastUsed) > m.opts.TTL
+			s.mu.Unlock()
+			if idle {
+				evict = append(evict, s)
+				delete(sh.sessions, id)
+				sh.closed[id] = tombstoneKept
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	for _, s := range evict {
+		m.count.Add(-1)
+		m.evictions.Add(1)
 		s.mu.Lock()
 		s.state = StateClosed
 		s.mu.Unlock()
+		m.journalClose(s.id, now)
 	}
 	return len(evict)
 }
 
+// Metrics is the service's observability snapshot.
+type Metrics struct {
+	// Sessions is the number of live sessions; SessionsByState breaks
+	// them down (active/queued/running/done/failed).
+	Sessions        int
+	SessionsByState map[string]int
+	// Observations counts every recorded experiment, including replayed
+	// ones; Evictions counts TTL evictions (carried across restarts);
+	// WarmStarts counts repository-seeded sessions.
+	Observations int64
+	Evictions    int64
+	WarmStarts   int64
+	// RepoEntries is the size of the shared model repository.
+	RepoEntries int
+	// Persistence reports whether a store is attached; Store carries its
+	// WAL size and compaction counters. JournalError is the most recent
+	// journaling failure, if any.
+	Persistence  bool
+	Store        store.Metrics
+	JournalError string
+}
+
+// Metrics reports the service's observability counters.
+func (m *Manager) Metrics() Metrics {
+	mt := Metrics{
+		SessionsByState: make(map[string]int),
+		Observations:    m.observations.Load(),
+		Evictions:       m.evictions.Load(),
+		WarmStarts:      m.warmStarts.Load(),
+	}
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			state := s.state
+			s.mu.Unlock()
+			mt.Sessions++
+			mt.SessionsByState[state]++
+		}
+	}
+	m.repoMu.Lock()
+	mt.RepoEntries = len(m.repo.Entries)
+	m.repoMu.Unlock()
+	if m.opts.Store != nil {
+		mt.Persistence = true
+		mt.Store = m.opts.Store.Metrics()
+	}
+	if p := m.journalErr.Load(); p != nil {
+		mt.JournalError = *p
+	}
+	return mt
+}
+
+// Repository returns a point-in-time copy of the shared model repository.
+func (m *Manager) Repository() bo.Repository {
+	m.repoMu.Lock()
+	defer m.repoMu.Unlock()
+	return bo.Repository{Entries: append([]bo.RepoEntry(nil), m.repo.Entries...)}
+}
+
 // --- internals -------------------------------------------------------------
 
-func (s *Session) record(smp tune.Sample) {
+// observeLocked feeds one sample to the session's tuner and records and
+// journals it, tracking the suggest/observe interleaving (whether a
+// suggestion was outstanding, and whether this observation consumed it) so
+// restore can replay it faithfully. Callers hold s.mu.
+func (m *Manager) observeLocked(s *Session, smp tune.Sample) {
+	armed := s.suggested
+	if armed && s.tuner.Suggest() == smp.Config {
+		// Suggest is pure while a suggestion is outstanding; the tuner is
+		// about to consume it.
+		s.suggested = false
+	}
+	s.tuner.Observe(smp)
+	m.recordLocked(s, smp, armed)
+}
+
+// recordLocked appends one sample to the session history (deriving Table 6
+// statistics from the profile when the sample has one) and journals it.
+// Callers hold s.mu.
+func (m *Manager) recordLocked(s *Session, smp tune.Sample, suggested bool) {
+	var st *profile.Stats
+	if smp.Stats != nil {
+		st = smp.Stats
+	} else if smp.Profile != nil {
+		g := profile.Generate(smp.Profile)
+		st = &g
+	}
+	n := len(s.history)
 	s.history = append(s.history, HistoryEntry{
 		Config:     smp.Config,
 		RuntimeSec: smp.RuntimeSec,
 		Objective:  smp.Objective,
 		Aborted:    smp.Result.Aborted,
+		GCOverhead: smp.Result.GCOverhead,
+		Stats:      st,
+		Suggested:  suggested,
+	})
+	m.observations.Add(1)
+	m.journal(&store.Event{
+		Type: store.EventObserve,
+		ID:   s.id,
+		Time: m.opts.Now(),
+		N:    n,
+		Obs: &store.Observation{
+			Config:     smp.Config,
+			RuntimeSec: smp.RuntimeSec,
+			Aborted:    smp.Result.Aborted,
+			GCOverhead: smp.Result.GCOverhead,
+			Stats:      st,
+			Suggested:  suggested,
+		},
 	})
 }
 
 // refreshStateLocked moves a non-terminal session to done/failed once its
-// tuner stops. Callers hold s.mu.
-func (s *Session) refreshStateLocked() {
+// tuner stops, harvesting completed sessions into the model repository.
+// Callers hold s.mu.
+func (m *Manager) refreshStateLocked(s *Session) {
 	if s.state == StateClosed || s.state == StateFailed {
 		return
 	}
@@ -515,6 +933,72 @@ func (s *Session) refreshStateLocked() {
 		return
 	}
 	s.state = StateDone
+	m.harvestLocked(s)
+}
+
+// harvestLocked feeds a completed session into the shared model repository
+// (§6.6): its fingerprint — the client-supplied default-run statistics, or
+// the first observation carrying statistics — plus every observation as a
+// prior point. Callers hold s.mu.
+func (m *Manager) harvestLocked(s *Session) {
+	if s.harvested || len(s.history) == 0 {
+		return
+	}
+	fp, defaultSec, ok := s.fingerprintLocked()
+	if !ok {
+		return
+	}
+	cl, wl, err := resolve(s.spec)
+	if err != nil {
+		return
+	}
+	entry := bo.RepoEntry{
+		Workload:    wl.Name,
+		ClusterName: cl.Name,
+		Fingerprint: fp,
+		DefaultSec:  defaultSec,
+	}
+	for _, h := range s.history {
+		entry.Points = append(entry.Points, bo.PriorPoint{
+			X:   s.space.Encode(h.Config),
+			Cfg: h.Config,
+			Y:   h.Objective,
+		})
+	}
+	s.harvested = true
+	m.repoMu.Lock()
+	m.repo.Entries = append(m.repo.Entries, entry)
+	m.harvested[s.id] = struct{}{}
+	m.repoMu.Unlock()
+	m.journal(&store.Event{Type: store.EventHarvest, ID: s.id, Time: m.opts.Now(), Repo: &entry})
+}
+
+// fingerprintLocked returns the session's workload fingerprint and the
+// runtime of the run it was measured on: the client-supplied default-run
+// statistics, else a default-configuration experiment from the history
+// (the §6.6 protocol — warm-start-enabled auto sessions always run one),
+// else the first profiled experiment as an approximation. Callers hold
+// s.mu.
+func (s *Session) fingerprintLocked() (profile.Stats, float64, bool) {
+	if s.spec.Stats != nil {
+		sec := s.spec.DefaultRuntimeSec
+		if sec <= 0 && len(s.history) > 0 {
+			sec = s.history[0].RuntimeSec
+		}
+		return *s.spec.Stats, sec, true
+	}
+	def := s.space.Default()
+	for _, h := range s.history {
+		if h.Stats != nil && h.Config == def {
+			return *h.Stats, h.RuntimeSec, true
+		}
+	}
+	for _, h := range s.history {
+		if h.Stats != nil {
+			return *h.Stats, h.RuntimeSec, true
+		}
+	}
+	return profile.Stats{}, 0, false
 }
 
 func (m *Manager) statusOf(s *Session) Status {
@@ -551,6 +1035,11 @@ func (m *Manager) statusLocked(s *Session) Status {
 	if s.err != nil {
 		st.Err = s.err.Error()
 	}
+	if s.warm != nil {
+		st.WarmStarted = true
+		st.WarmSource = s.warm.Source
+		st.WarmDistance = s.warm.Distance
+	}
 	return st
 }
 
@@ -576,7 +1065,39 @@ func (m *Manager) drive(s *Session) {
 	if s.state == StateQueued {
 		s.state = StateRunning
 	}
+	// A warm-start request without a client fingerprint: profile the
+	// default configuration first (the fingerprinting run of §6.6), match
+	// the repository, and seed the tuner before the regular loop.
+	needWarm := s.spec.WarmStart && s.warm == nil && s.spec.Stats == nil && len(s.history) == 0 && s.ev != nil
+	ev := s.ev
 	s.mu.Unlock()
+
+	if needWarm {
+		def := ev.Space.Default()
+		smp := ev.Eval(def)
+		var w *store.Warm
+		// An aborted default run still fingerprints the workload (its
+		// profile covers the portion that ran); RunWithReuse matches on it
+		// the same way.
+		if fp, ok := smp.DeriveStats(); ok {
+			w = m.matchWarm(ev.Cluster.Name, fp, s.spec.WarmMaxDistance, smp.RuntimeSec)
+		}
+		s.mu.Lock()
+		if s.state == StateClosed {
+			s.mu.Unlock()
+			return
+		}
+		if w != nil && applyWarm(s.tuner, w) {
+			s.warm = w
+			m.warmStarts.Add(1)
+			m.journal(&store.Event{Type: store.EventWarm, ID: s.id, Time: m.opts.Now(), Warm: w})
+		}
+		// The fingerprinting run is a real experiment: feed it to the
+		// tuner (unsolicited observations are incorporated) and the log.
+		m.observeLocked(s, smp)
+		s.lastUsed = m.opts.Now()
+		s.mu.Unlock()
+	}
 
 	for {
 		select {
@@ -591,15 +1112,16 @@ func (m *Manager) drive(s *Session) {
 			return
 		}
 		if s.tuner.Done() || len(s.history) >= m.opts.MaxAutoEvals {
-			s.refreshStateLocked()
+			m.refreshStateLocked(s)
 			if s.state == StateRunning { // eval cap hit before the tuner stopped
 				s.state = StateDone
+				m.harvestLocked(s)
 			}
 			s.mu.Unlock()
 			return
 		}
 		cfg := s.tuner.Suggest()
-		ev := s.ev
+		s.suggested = true
 		s.mu.Unlock()
 
 		smp := ev.Eval(cfg)
@@ -609,8 +1131,7 @@ func (m *Manager) drive(s *Session) {
 			s.mu.Unlock()
 			return
 		}
-		s.tuner.Observe(smp)
-		s.record(smp)
+		m.observeLocked(s, smp)
 		s.lastUsed = m.opts.Now()
 		s.mu.Unlock()
 	}

@@ -303,11 +303,14 @@ func TestCloseSession(t *testing.T) {
 	if err := m.CloseSession(st.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.CloseSession(st.ID); err != ErrNotFound {
-		t.Fatalf("double close: %v, want ErrNotFound", err)
+	if err := m.CloseSession(st.ID); err != nil {
+		t.Fatalf("double close: %v, want idempotent nil", err)
 	}
 	if _, err := m.Observe(st.ID, Observation{Config: conf.Default(), RuntimeSec: 1}); err != ErrNotFound {
 		t.Fatalf("observe after close: %v, want ErrNotFound", err)
+	}
+	if err := m.CloseSession("sess-999"); err != ErrNotFound {
+		t.Fatalf("close of unknown session: %v, want ErrNotFound", err)
 	}
 }
 

@@ -1,0 +1,327 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.jsonl"
+)
+
+// FileOptions tunes a file-backed store.
+type FileOptions struct {
+	// SyncEachAppend fsyncs the log after every event. Off by default: the
+	// log is flushed to the OS on every append (surviving process crashes)
+	// and fsynced on compaction and close (bounding loss on machine
+	// crashes to the events since the last compaction).
+	SyncEachAppend bool
+}
+
+// File is the directory-backed Store: an append-only wal.jsonl plus the
+// latest compacted snapshot.json. Compaction writes the snapshot to a
+// temporary file, renames it into place, then rewrites the log keeping
+// only events past the snapshot's fence — every step leaves a state Load
+// can recover from.
+type File struct {
+	dir  string
+	opts FileOptions
+
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	closed    bool
+	seq       uint64
+	walBytes  int64
+	walEvents uint64
+	snapshots uint64
+	snapBytes int64
+	lastComp  time.Time
+}
+
+var _ Store = (*File)(nil)
+
+// OpenFile opens (creating if needed) a file-backed store rooted at dir.
+// The sequence counter resumes past every event already on disk.
+func OpenFile(dir string, opts ...FileOptions) (*File, error) {
+	var o FileOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	fs := &File{dir: dir, opts: o}
+
+	if snap, err := fs.readSnapshot(); err != nil {
+		return nil, err
+	} else if snap != nil {
+		fs.seq = snap.Fence
+	}
+	events, size, err := readWAL(fs.walPath())
+	if err != nil {
+		return nil, err
+	}
+	fs.walBytes, fs.walEvents = size, uint64(len(events))
+	for _, ev := range events {
+		if ev.Seq > fs.seq {
+			fs.seq = ev.Seq
+		}
+	}
+	// Drop a torn tail (crash mid-append) before appending: without the
+	// truncate, the next event would concatenate onto the partial line and
+	// the merged garbage line would swallow it on the following recovery.
+	if st, err := os.Stat(fs.walPath()); err == nil && st.Size() > size {
+		if err := os.Truncate(fs.walPath(), size); err != nil {
+			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	if st, err := os.Stat(fs.snapPath()); err == nil {
+		fs.snapBytes = st.Size()
+	}
+
+	f, err := os.OpenFile(fs.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	fs.f, fs.w = f, bufio.NewWriter(f)
+	return fs, nil
+}
+
+func (s *File) walPath() string  { return filepath.Join(s.dir, walFile) }
+func (s *File) snapPath() string { return filepath.Join(s.dir, snapshotFile) }
+
+// Append journals one event and flushes it to the OS.
+func (s *File) Append(ev *Event) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("store: append to closed store")
+	}
+	s.seq++
+	ev.Seq = s.seq
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		s.seq--
+		return 0, fmt.Errorf("store: encode event: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := s.w.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, fmt.Errorf("store: flush: %w", err)
+	}
+	if s.opts.SyncEachAppend {
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.walBytes += int64(len(buf))
+	s.walEvents++
+	return ev.Seq, nil
+}
+
+// Seq returns the last assigned sequence number.
+func (s *File) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Load returns the latest snapshot and the live log. A truncated or
+// corrupt log tail — the signature of a crash mid-append — ends the replay
+// at the last whole event instead of failing recovery.
+func (s *File) Load() (*Snapshot, []Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return nil, nil, fmt.Errorf("store: flush: %w", err)
+		}
+	}
+	snap, err := s.readSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	events, _, err := readWAL(s.walPath())
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, events, nil
+}
+
+func (s *File) readSnapshot() (*Snapshot, error) {
+	buf, err := os.ReadFile(s.snapPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// readWAL scans a JSONL log, stopping silently at the first undecodable
+// line (a torn write from a crash).
+func readWAL(path string) ([]Event, int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: open wal: %w", err)
+	}
+	defer f.Close()
+	var (
+		events []Event
+		size   int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			size += int64(len(line)) + 1
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			break // torn tail: recover up to the last whole event
+		}
+		events = append(events, ev)
+		size += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, 0, fmt.Errorf("store: scan wal: %w", err)
+	}
+	return events, size, nil
+}
+
+// Compact atomically persists the snapshot, then rewrites the log keeping
+// only events past the snapshot's fence. Appends block for the duration;
+// callers collect the snapshot without holding the store lock.
+func (s *File) Compact(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: compact closed store")
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+
+	buf, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if err := atomicWrite(s.snapPath(), buf); err != nil {
+		return err
+	}
+	s.snapBytes = int64(len(buf))
+
+	events, _, err := readWAL(s.walPath())
+	if err != nil {
+		return err
+	}
+	var keep []byte
+	var kept uint64
+	for _, ev := range events {
+		if ev.Seq <= snap.Fence {
+			continue
+		}
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("store: re-encode event: %w", err)
+		}
+		keep = append(keep, line...)
+		keep = append(keep, '\n')
+		kept++
+	}
+	if err := atomicWrite(s.walPath(), keep); err != nil {
+		return err
+	}
+	// The append handle points at the replaced inode; reopen on the new log.
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: close old wal: %w", err)
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal: %w", err)
+	}
+	s.f, s.w = f, bufio.NewWriter(f)
+	s.walBytes, s.walEvents = int64(len(keep)), kept
+	s.snapshots++
+	s.lastComp = time.Now()
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file + fsync + rename.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Metrics reports log size and compaction counters.
+func (s *File) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		WALBytes:       s.walBytes,
+		WALEvents:      s.walEvents,
+		Seq:            s.seq,
+		Snapshots:      s.snapshots,
+		LastCompaction: s.lastComp,
+		SnapshotBytes:  s.snapBytes,
+	}
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return s.f.Close()
+}

@@ -65,6 +65,10 @@ func (o *Objectives) Assign(runtimeSec float64, aborted bool) float64 {
 // Reset clears the watermark.
 func (o *Objectives) Reset() { o.worst = 0 }
 
+// Restore sets the watermark to the given worst runtime; the service uses
+// it when rebuilding a session's objective state from a persisted history.
+func (o *Objectives) Restore(worstRuntimeSec float64) { o.worst = worstRuntimeSec }
+
 // Evaluator runs configurations for the tuning policies and applies the
 // paper's objective conventions. It records every evaluation, which is what
 // the overhead figures (16, 18, 19) report. It is safe for concurrent use:
@@ -161,6 +165,20 @@ func (e *Evaluator) TotalRuntime() float64 {
 		t += s.RuntimeSec
 	}
 	return t
+}
+
+// Resume pre-positions an evaluator whose session is being restored from a
+// persisted history: the first n seed offsets are marked consumed — so the
+// next Eval draws the same simulator seed it would have drawn had the
+// process never restarted — and the abort-penalty watermark is reset to the
+// worst runtime of the replayed history.
+func (e *Evaluator) Resume(n int, worstRuntimeSec float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > e.started {
+		e.started = n
+	}
+	e.obj.Restore(worstRuntimeSec)
 }
 
 // Reset clears the history (used when a policy is re-run from scratch).

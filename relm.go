@@ -40,6 +40,7 @@ import (
 	"relm/internal/sim"
 	"relm/internal/sim/cluster"
 	"relm/internal/sim/workload"
+	"relm/internal/store"
 	"relm/internal/tune"
 )
 
@@ -256,10 +257,37 @@ type SessionObservation = service.Observation
 // SessionStatus is a point-in-time snapshot of one session.
 type SessionStatus = service.Status
 
+// ServiceMetrics is the service's observability snapshot (session counts
+// by state, observation/eviction/warm-start counters, WAL size).
+type ServiceMetrics = service.Metrics
+
+// SessionStore is the durable knowledge store of the tuning service: an
+// append-only write-ahead log of session events with periodic compacted
+// snapshots, carrying both session state and the shared model repository.
+type SessionStore = store.Store
+
+// OpenFileSessionStore opens (creating if needed) a directory-backed
+// session store: <dir>/wal.jsonl plus <dir>/snapshot.json.
+func OpenFileSessionStore(dir string) (SessionStore, error) { return store.OpenFile(dir) }
+
+// NewMemSessionStore returns an in-memory session store with the same
+// semantics as the file-backed one (tests, ephemeral servers).
+func NewMemSessionStore() SessionStore { return store.NewMem() }
+
 // NewServiceManager starts a session manager with its worker pool and TTL
-// janitor. Call Close to stop it.
+// janitor. Call Close to stop it. For a durable manager pass a Store via
+// OpenServiceManager instead.
 func NewServiceManager(opts ServiceOptions) *ServiceManager {
 	return service.NewManager(opts)
+}
+
+// OpenServiceManager starts a session manager backed by a durable store:
+// it replays the write-ahead log, resumes every open session with its
+// replayed tuner state, re-queues interrupted auto sessions, and loads the
+// persisted model repository for §6.6 warm starts. The manager takes
+// ownership of the store and closes it on Close.
+func OpenServiceManager(opts ServiceOptions) (*ServiceManager, error) {
+	return service.Open(opts)
 }
 
 // NewServiceHandler exposes a session manager over the HTTP/JSON tuning

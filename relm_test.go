@@ -97,3 +97,69 @@ func TestPublicAPIExperiments(t *testing.T) {
 		t.Fatal("table6 output malformed")
 	}
 }
+
+// TestPublicAPIDurableService drives the durable tuning service through
+// the facade: a session journaled to a file-backed store survives a
+// manager restart with its history intact.
+func TestPublicAPIDurableService(t *testing.T) {
+	dir := t.TempDir()
+	st, err := relm.OpenFileSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := relm.OpenServiceManager(relm.ServiceOptions{Workers: 1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, err := m.Create(relm.SessionSpec{Backend: "bo", Workload: "K-means", Seed: 2, MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		cfg, done, err := m.Suggest(created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		res, _ := relm.Simulate(relm.ClusterA(), mustWorkloadFacade(t, "K-means"), cfg, uint64(10+step))
+		if _, err := m.Observe(created.ID, relm.SessionObservation{Config: cfg, RuntimeSec: res.RuntimeSec, Aborted: res.Aborted}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := m.History(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // snapshots and releases the store
+
+	st2, err := relm.OpenFileSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := relm.OpenServiceManager(relm.ServiceOptions{Workers: 1, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, err := m2.History(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(hist) {
+		t.Fatalf("restored history has %d entries, want %d", len(got), len(hist))
+	}
+	if mt := m2.Metrics(); !mt.Persistence || mt.Sessions != 1 {
+		t.Fatalf("metrics after restore: %+v", mt)
+	}
+}
+
+func mustWorkloadFacade(t *testing.T, name string) relm.Workload {
+	t.Helper()
+	wl, err := relm.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
