@@ -1,0 +1,295 @@
+// Command benchgate turns `go test -bench` output into a machine-readable
+// result file and gates it against a checked-in baseline — the CI bench
+// job's comparison step.
+//
+// It parses the benchmark lines of one or more `go test -bench -count N`
+// runs, aggregates each benchmark's ns/op across its repetitions with the
+// median (benchstat's robust center), and writes the result as JSON. Given
+// a baseline file (a previous result), it fails — exit status 1 — when any
+// benchmark's median ns/op regressed by more than the threshold, or when a
+// baseline benchmark disappeared from the run. Because absolute wall-clock
+// medians do not transfer across hardware, the absolute gate downgrades to
+// warnings when the baseline's recorded CPU differs from the run's;
+// -ratio gates (invariants between two benchmarks of the same run, e.g.
+// "group commit beats per-record fsync 3x") are enforced on any hardware.
+//
+// The baseline is refreshed by copying a trusted run's result file over
+// it (e.g. after landing an intentional perf change or moving CI to new
+// hardware):
+//
+//	go test -run '^$' -bench 'StoreAppend|StoreReplay|ServiceSuggestObserve' \
+//	    -benchmem -count 6 ./internal/store ./internal/service . | \
+//	    go run ./cmd/benchgate -out BENCH_baseline.json
+//
+// Usage:
+//
+//	benchgate [-input bench.txt] [-out result.json]
+//	          [-baseline BENCH_baseline.json] [-threshold 0.35]
+//	          [-note "free-form context recorded in the result"]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the file benchgate writes and compares.
+type Result struct {
+	Note string `json:"note,omitempty"`
+	// CPU is the `cpu:` line of the bench output. Absolute ns/op gates
+	// only apply when the baseline's CPU matches the current run's —
+	// wall-clock medians do not transfer across hardware — otherwise they
+	// downgrade to warnings and only ratio gates (-ratio) are enforced.
+	CPU        string               `json:"cpu,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark aggregates one benchmark's repetitions.
+type Benchmark struct {
+	Runs        int       `json:"runs"`
+	NsPerOp     float64   `json:"ns_per_op"` // median across runs
+	NsPerOpAll  []float64 `json:"ns_per_op_all,omitempty"`
+	BPerOp      float64   `json:"b_per_op,omitempty"`      // median, with -benchmem
+	AllocsPerOp float64   `json:"allocs_per_op,omitempty"` // median, with -benchmem
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkStoreAppendParallel/fsync=on/goroutines=64-8  49050  7209 ns/op  1613 B/op  3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "bench output file (default stdin)")
+		out       = flag.String("out", "", "write the aggregated result JSON here")
+		baseline  = flag.String("baseline", "", "baseline result JSON to gate against")
+		threshold = flag.Float64("threshold", 0.35, "allowed fractional ns/op regression vs the baseline (0.35 = +35%)")
+		note      = flag.String("note", "", "free-form context recorded in the result file")
+	)
+	var ratios []ratioGate
+	flag.Func("ratio", "hardware-independent gate 'NUM|DEN|MAX': fail unless ns/op(NUM)/ns/op(DEN) <= MAX; repeatable", func(v string) error {
+		g, err := parseRatioGate(v)
+		if err != nil {
+			return err
+		}
+		ratios = append(ratios, g)
+		return nil
+	})
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("open input: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	res, err := parse(r, *note)
+	if err != nil {
+		fatalf("parse bench output: %v", err)
+	}
+	if len(res.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in the input")
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatalf("encode result: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatalf("write result: %v", err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(res.Benchmarks), *out)
+	}
+
+	failed := false
+	for _, g := range ratios {
+		if msg, ok := g.check(res); !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: ratio gate failed: "+msg)
+			failed = true
+		} else {
+			fmt.Println("benchgate: ratio gate ok: " + msg)
+		}
+	}
+
+	if *baseline != "" {
+		base, err := readResult(*baseline)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		regressions := compare(base, res, *threshold)
+		switch {
+		case len(regressions) == 0:
+			fmt.Printf("benchgate: %d benchmarks within +%.0f%% of baseline %s\n", len(base.Benchmarks), *threshold*100, *baseline)
+		case base.CPU != "" && base.CPU != res.CPU:
+			// The baseline was recorded on different hardware: absolute
+			// ns/op medians do not transfer, so report without failing.
+			// Refresh the baseline from a run on this runner class to
+			// re-arm the absolute gate; ratio gates stay enforced.
+			fmt.Fprintf(os.Stderr, "benchgate: baseline CPU %q != current %q; absolute comparisons are warnings only:\n", base.CPU, res.CPU)
+			for _, line := range regressions {
+				fmt.Fprintln(os.Stderr, "benchgate: warning: "+line)
+			}
+		default:
+			for _, line := range regressions {
+				fmt.Fprintln(os.Stderr, "benchgate: "+line)
+			}
+			failed = true
+		}
+	}
+	if failed {
+		fatalf("benchmark gate failed")
+	}
+}
+
+// ratioGate is one hardware-independent invariant between two benchmarks
+// of the same run (e.g. group commit must beat per-record fsync 3x).
+type ratioGate struct {
+	num, den string
+	max      float64
+}
+
+func parseRatioGate(v string) (ratioGate, error) {
+	parts := strings.Split(v, "|")
+	if len(parts) != 3 {
+		return ratioGate{}, fmt.Errorf("ratio gate %q: want 'NUM|DEN|MAX'", v)
+	}
+	max, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || max <= 0 {
+		return ratioGate{}, fmt.Errorf("ratio gate %q: bad MAX", v)
+	}
+	return ratioGate{num: parts[0], den: parts[1], max: max}, nil
+}
+
+func (g ratioGate) check(res *Result) (string, bool) {
+	num, ok1 := res.Benchmarks[g.num]
+	den, ok2 := res.Benchmarks[g.den]
+	if !ok1 || !ok2 {
+		return fmt.Sprintf("%s / %s: benchmark missing from this run", g.num, g.den), false
+	}
+	if den.NsPerOp <= 0 {
+		return fmt.Sprintf("%s: zero ns/op denominator", g.den), false
+	}
+	ratio := num.NsPerOp / den.NsPerOp
+	return fmt.Sprintf("%s / %s = %.3f (limit %.3f)", g.num, g.den, ratio, g.max), ratio <= g.max
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parse aggregates every benchmark line of a `go test -bench` run.
+func parse(r io.Reader, note string) (*Result, error) {
+	ns := make(map[string][]float64)
+	bs := make(map[string][]float64)
+	allocs := make(map[string][]float64)
+	var cpu string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if c, ok := strings.CutPrefix(sc.Text(), "cpu: "); ok {
+			cpu = strings.TrimSpace(c)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		ns[name] = append(ns[name], v)
+		if m[3] != "" {
+			if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+				bs[name] = append(bs[name], v)
+			}
+		}
+		if m[4] != "" {
+			if v, err := strconv.ParseFloat(m[4], 64); err == nil {
+				allocs[name] = append(allocs[name], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Note: note, CPU: cpu, Benchmarks: make(map[string]Benchmark, len(ns))}
+	for name, runs := range ns {
+		res.Benchmarks[name] = Benchmark{
+			Runs:        len(runs),
+			NsPerOp:     median(runs),
+			NsPerOpAll:  runs,
+			BPerOp:      median(bs[name]),
+			AllocsPerOp: median(allocs[name]),
+		}
+	}
+	return res, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func readResult(path string) (*Result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(buf, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// compare reports every baseline benchmark that regressed past the
+// threshold or went missing. New benchmarks (in res but not base) pass
+// freely — they gate once they enter the baseline.
+func compare(base, res *Result, threshold float64) []string {
+	var names []string
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		cur, ok := res.Benchmarks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		if ratio > 1+threshold {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.2fx)",
+				name, cur.NsPerOp, b.NsPerOp, ratio, 1+threshold))
+		}
+	}
+	return bad
+}

@@ -5,17 +5,25 @@
 // driven by the server's worker pool on the simulator.
 //
 // With -data-dir the server is durable: every session event is journaled
-// to an append-only write-ahead log (<dir>/wal.jsonl) with periodic
-// compacted snapshots (<dir>/snapshot.json), a restarted server resumes
-// every open session with full history, and completed sessions feed a
-// persisted model repository that warm-starts later sessions on the same
-// workload (§6.6 model re-use).
+// to a segmented append-only write-ahead log (<dir>/wal-000001.jsonl, …)
+// with periodic compacted snapshots (<dir>/snapshot.json), a restarted
+// server resumes every open session with full history, and completed
+// sessions feed a persisted model repository that warm-starts later
+// sessions on the same workload (§6.6 model re-use). Segments rotate at
+// -wal-segment-bytes, so compaction deletes sealed segments instead of
+// rewriting the log; with -fsync, appends are group-committed — concurrent
+// observations share one fsync batch, optionally coalescing for an extra
+// -commit-interval (the latency cap).
+// A PR-2-format data directory (single wal.jsonl) is adopted transparently.
+// The model repository is bounded by -repo-cap with least-recently-matched
+// eviction and inspectable at GET /v1/repository.
 //
 // Usage:
 //
 //	relm-serve [-addr :8080] [-workers 4] [-ttl 30m] [-max-sessions 4096]
 //	           [-data-dir relm-data] [-snapshot-every 1024] [-fsync]
-//	           [-warm-distance 0.25]
+//	           [-wal-segment-bytes 4194304] [-commit-interval 0]
+//	           [-warm-distance 0.25] [-repo-cap 1024]
 //
 // One full remote tuning loop:
 //
@@ -51,8 +59,11 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 4096, "live-session limit")
 		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only, nothing survives a restart)")
 		snapEvery    = flag.Int("snapshot-every", 1024, "compact the write-ahead log after this many events")
-		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every event (slower, survives machine crashes)")
+		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every event, group-committed (survives machine crashes)")
+		segmentBytes = flag.Int64("wal-segment-bytes", 4<<20, "rotate write-ahead-log segments at this size")
+		commitIvl    = flag.Duration("commit-interval", 0, "group-commit latency cap: extra time an fsync batch coalesces (with -fsync; 0 = flush as soon as the committer is free)")
 		warmDistance = flag.Float64("warm-distance", 0.25, "default fingerprint-distance threshold for warm-start matching")
+		repoCap      = flag.Int("repo-cap", 1024, "model-repository capacity; least-recently-matched entries are evicted past it (negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -62,9 +73,14 @@ func main() {
 		MaxSessions:     *maxSessions,
 		SnapshotEvery:   *snapEvery,
 		WarmMaxDistance: *warmDistance,
+		RepoCapacity:    *repoCap,
 	}
 	if *dataDir != "" {
-		st, err := store.OpenFile(*dataDir, store.FileOptions{SyncEachAppend: *fsync})
+		st, err := store.OpenFile(*dataDir, store.FileOptions{
+			SyncEachAppend: *fsync,
+			SegmentBytes:   *segmentBytes,
+			CommitInterval: *commitIvl,
+		})
 		if err != nil {
 			log.Fatalf("open store: %v", err)
 		}

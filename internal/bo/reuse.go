@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"relm/internal/conf"
 	"relm/internal/profile"
@@ -31,6 +32,14 @@ type RepoEntry struct {
 	// observations between workloads of different magnitudes.
 	DefaultSec float64
 	Points     []PriorPoint
+
+	// Lifecycle bookkeeping for capacity eviction: Hits counts warm-start
+	// matches this entry served, AddedAt is when it was harvested, and
+	// LastUsed is the later of AddedAt and its latest match. Zero values
+	// (entries saved before this bookkeeping existed) rank as never used.
+	Hits     uint64    `json:",omitempty"`
+	AddedAt  time.Time `json:",omitzero"`
+	LastUsed time.Time `json:",omitzero"`
 }
 
 // Repository implements the OtterTune-style model re-use of §6.6: workloads
@@ -61,6 +70,45 @@ func (r *Repository) Add(workload, clusterName string, fp profile.Stats, default
 	r.Entries = append(r.Entries, e)
 }
 
+// Touch records a warm-start match served by entry e at time now.
+func (e *RepoEntry) Touch(now time.Time) {
+	e.Hits++
+	if now.After(e.LastUsed) {
+		e.LastUsed = now
+	}
+}
+
+// EvictDown removes the lowest-ranked entries until the repository holds at
+// most capacity, returning the evicted entries. Ranking is LRU refined by
+// usefulness: the least-recently-used entry goes first, ties broken by
+// fewer hits, then by age (older first). capacity <= 0 means unbounded.
+func (r *Repository) EvictDown(capacity int) []RepoEntry {
+	if capacity <= 0 || len(r.Entries) <= capacity {
+		return nil
+	}
+	worse := func(a, b *RepoEntry) bool {
+		if !a.LastUsed.Equal(b.LastUsed) {
+			return a.LastUsed.Before(b.LastUsed)
+		}
+		if a.Hits != b.Hits {
+			return a.Hits < b.Hits
+		}
+		return a.AddedAt.Before(b.AddedAt)
+	}
+	var evicted []RepoEntry
+	for len(r.Entries) > capacity {
+		victim := 0
+		for i := 1; i < len(r.Entries); i++ {
+			if worse(&r.Entries[i], &r.Entries[victim]) {
+				victim = i
+			}
+		}
+		evicted = append(evicted, r.Entries[victim])
+		r.Entries = append(r.Entries[:victim], r.Entries[victim+1:]...)
+	}
+	return evicted
+}
+
 // FingerprintDistance is the Euclidean distance between two Table 6
 // fingerprints over the scale-free statistics (utilizations, pool fractions
 // of heap, hit and spill ratios). Re-profiles of one workload land within
@@ -75,6 +123,11 @@ func FingerprintDistance(a, b profile.Stats) float64 {
 	}
 	return math.Sqrt(s)
 }
+
+// FingerprintVector returns the scale-free fingerprint coordinates of a
+// Table 6 statistics record (the space FingerprintDistance measures in);
+// the repository inspection endpoint exposes it.
+func FingerprintVector(st profile.Stats) []float64 { return fingerprintVector(st) }
 
 func fingerprintVector(st profile.Stats) []float64 {
 	mh := st.MhMB

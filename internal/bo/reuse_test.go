@@ -3,6 +3,7 @@ package bo
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"relm/internal/profile"
 	"relm/internal/sim/cluster"
@@ -136,5 +137,49 @@ func TestPriorPointsNeverBecomeIncumbent(t *testing.T) {
 	}
 	if res.Best.Objective <= 0.01 {
 		t.Fatal("a prior point leaked into the incumbent")
+	}
+}
+
+// TestRepositoryEviction: EvictDown ranks least-recently-used first, with
+// hit count and age as tie breaks, and never evicts below capacity.
+func TestRepositoryEviction(t *testing.T) {
+	at := func(sec int64) time.Time { return time.Unix(sec, 0) }
+	repo := &Repository{Entries: []RepoEntry{
+		{Workload: "old-unused", AddedAt: at(10), LastUsed: at(10)},
+		{Workload: "hot", AddedAt: at(20), LastUsed: at(20)},
+		{Workload: "cold", AddedAt: at(30), LastUsed: at(30)},
+		{Workload: "fresh", AddedAt: at(40), LastUsed: at(40)},
+	}}
+	// Matching "hot" refreshes its recency and hit count.
+	repo.Entries[1].Touch(at(100))
+	if repo.Entries[1].Hits != 1 || !repo.Entries[1].LastUsed.Equal(at(100)) {
+		t.Fatalf("touch bookkeeping: %+v", repo.Entries[1])
+	}
+
+	if ev := repo.EvictDown(4); ev != nil {
+		t.Fatalf("eviction below capacity: %+v", ev)
+	}
+	if ev := repo.EvictDown(0); ev != nil {
+		t.Fatalf("capacity 0 must mean unbounded, evicted %+v", ev)
+	}
+	evicted := repo.EvictDown(2)
+	if len(evicted) != 2 || evicted[0].Workload != "old-unused" || evicted[1].Workload != "cold" {
+		t.Fatalf("evicted %+v, want old-unused then cold (LRU order)", evicted)
+	}
+	var left []string
+	for _, e := range repo.Entries {
+		left = append(left, e.Workload)
+	}
+	if len(left) != 2 || left[0] != "hot" || left[1] != "fresh" {
+		t.Fatalf("survivors = %v, want [hot fresh]", left)
+	}
+
+	// Same recency: fewer hits goes first.
+	repo2 := &Repository{Entries: []RepoEntry{
+		{Workload: "a", AddedAt: at(1), LastUsed: at(50), Hits: 3},
+		{Workload: "b", AddedAt: at(2), LastUsed: at(50), Hits: 1},
+	}}
+	if ev := repo2.EvictDown(1); len(ev) != 1 || ev[0].Workload != "b" {
+		t.Fatalf("hit-count tie break failed: %+v", ev)
 	}
 }

@@ -124,13 +124,41 @@ type MetricsResponse struct {
 	Evictions       int64          `json:"evictions"`
 	WarmStarts      int64          `json:"warm_starts"`
 	RepoEntries     int            `json:"repo_entries"`
+	RepoCapacity    int            `json:"repo_capacity,omitempty"`
+	RepoHits        int64          `json:"repo_hits,omitempty"`
+	RepoEvictions   int64          `json:"repo_evictions,omitempty"`
 	Persistence     bool           `json:"persistence"`
 	WALBytes        int64          `json:"wal_bytes,omitempty"`
 	WALEvents       uint64         `json:"wal_events,omitempty"`
+	WALSegments     int            `json:"wal_segments,omitempty"`
+	PrunedSegments  uint64         `json:"pruned_segments,omitempty"`
+	CommitBatches   uint64         `json:"commit_batches,omitempty"`
+	BatchedEvents   uint64         `json:"batched_events,omitempty"`
 	Snapshots       uint64         `json:"snapshots,omitempty"`
 	SnapshotBytes   int64          `json:"snapshot_bytes,omitempty"`
 	LastCompaction  *time.Time     `json:"last_compaction,omitempty"`
 	JournalError    string         `json:"journal_error,omitempty"`
+}
+
+// RepoEntryJSON is the wire form of one repository entry's inspection view.
+type RepoEntryJSON struct {
+	Workload    string    `json:"workload"`
+	Cluster     string    `json:"cluster"`
+	Fingerprint []float64 `json:"fingerprint"`
+	DefaultSec  float64   `json:"default_sec,omitempty"`
+	Points      int       `json:"points"`
+	Hits        uint64    `json:"hits"`
+	AddedAt     time.Time `json:"added_at,omitzero"`
+	LastUsed    time.Time `json:"last_used,omitzero"`
+}
+
+// RepositoryResponse is the body of GET /v1/repository.
+type RepositoryResponse struct {
+	Entries   int             `json:"entries"`
+	Capacity  int             `json:"capacity,omitempty"`
+	Hits      int64           `json:"hits"`
+	Evictions int64           `json:"evictions"`
+	Models    []RepoEntryJSON `json:"models"`
 }
 
 func toStatusResponse(st Status) StatusResponse {
@@ -175,6 +203,7 @@ type errorJSON struct {
 //	GET    /v1/sessions/{id}/history  recorded experiments
 //	DELETE /v1/sessions/{id}          close the session (idempotent)
 //	GET    /v1/metrics                service + store observability counters
+//	GET    /v1/repository             model-repository inspection (entries, fingerprints, hit/evict counters)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -278,18 +307,49 @@ func NewHandler(m *Manager) http.Handler {
 			Evictions:       mt.Evictions,
 			WarmStarts:      mt.WarmStarts,
 			RepoEntries:     mt.RepoEntries,
+			RepoCapacity:    mt.RepoCapacity,
+			RepoHits:        mt.RepoHits,
+			RepoEvictions:   mt.RepoEvictions,
 			Persistence:     mt.Persistence,
 			JournalError:    mt.JournalError,
 		}
 		if mt.Persistence {
 			resp.WALBytes = mt.Store.WALBytes
 			resp.WALEvents = mt.Store.WALEvents
+			resp.WALSegments = mt.Store.Segments
+			resp.PrunedSegments = mt.Store.PrunedSegments
+			resp.CommitBatches = mt.Store.Batches
+			resp.BatchedEvents = mt.Store.BatchedEvents
 			resp.Snapshots = mt.Store.Snapshots
 			resp.SnapshotBytes = mt.Store.SnapshotBytes
 			if !mt.Store.LastCompaction.IsZero() {
 				t := mt.Store.LastCompaction
 				resp.LastCompaction = &t
 			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/repository", func(w http.ResponseWriter, r *http.Request) {
+		rep := m.RepositoryReport()
+		resp := RepositoryResponse{
+			Entries:   len(rep.Entries),
+			Capacity:  rep.Capacity,
+			Hits:      rep.Hits,
+			Evictions: rep.Evictions,
+			Models:    make([]RepoEntryJSON, 0, len(rep.Entries)),
+		}
+		for _, e := range rep.Entries {
+			resp.Models = append(resp.Models, RepoEntryJSON{
+				Workload:    e.Workload,
+				Cluster:     e.Cluster,
+				Fingerprint: e.Fingerprint,
+				DefaultSec:  e.DefaultSec,
+				Points:      e.Points,
+				Hits:        e.Hits,
+				AddedAt:     e.AddedAt,
+				LastUsed:    e.LastUsed,
+			})
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})

@@ -221,3 +221,50 @@ func mustWorkload(t *testing.T, name string) workload.Spec {
 	}
 	return wl
 }
+
+// TestHTTPRepository: GET /v1/repository exposes the model repository's
+// entries, fingerprints, and lifecycle counters; WAL segmentation counters
+// show up under /v1/metrics.
+func TestHTTPRepository(t *testing.T) {
+	m := NewManager(Options{Workers: 2, RepoCapacity: 8, Store: store.NewMem()})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+
+	var rep RepositoryResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/repository", nil, &rep); code != http.StatusOK {
+		t.Fatalf("repository: status %d", code)
+	}
+	if rep.Entries != 0 || rep.Capacity != 8 || len(rep.Models) != 0 {
+		t.Fatalf("empty repository report: %+v", rep)
+	}
+
+	// A completed session is harvested into the repository and shows up.
+	final := driveHTTPSession(t, srv.URL, CreateRequest{
+		Backend: "bo", Workload: "K-means", Cluster: "A", Seed: 5, MaxIterations: 2,
+	}, 40)
+	if final.State != StateDone {
+		t.Fatalf("session not done: %+v", final)
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/repository", nil, &rep); code != http.StatusOK {
+		t.Fatalf("repository: status %d", code)
+	}
+	if rep.Entries != 1 || len(rep.Models) != 1 {
+		t.Fatalf("repository after harvest: %+v", rep)
+	}
+	mdl := rep.Models[0]
+	if mdl.Workload != "K-means" || mdl.Cluster != "A" || mdl.Points == 0 || len(mdl.Fingerprint) == 0 {
+		t.Fatalf("harvested model mangled: %+v", mdl)
+	}
+
+	var mt MetricsResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/metrics", nil, &mt); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if mt.RepoEntries != 1 || mt.RepoCapacity != 8 {
+		t.Fatalf("repository counters missing from metrics: %+v", mt)
+	}
+	if mt.WALSegments == 0 {
+		t.Fatalf("segment counters missing from metrics: %+v", mt)
+	}
+}

@@ -127,12 +127,14 @@ func (m *Manager) Snapshot() error {
 	// Events appended after this fence are retained by the compaction
 	// even when the collection below already includes them.
 	snap := &store.Snapshot{
-		TakenAt:      m.opts.Now(),
-		Fence:        m.opts.Store.Seq(),
-		NextID:       m.nextID.Load(),
-		Evictions:    m.evictions.Load(),
-		Observations: m.observations.Load(),
-		WarmStarts:   m.warmStarts.Load(),
+		TakenAt:       m.opts.Now(),
+		Fence:         m.opts.Store.Seq(),
+		NextID:        m.nextID.Load(),
+		Evictions:     m.evictions.Load(),
+		Observations:  m.observations.Load(),
+		WarmStarts:    m.warmStarts.Load(),
+		RepoHits:      m.repoHits.Load(),
+		RepoEvictions: m.repoEvictions.Load(),
 	}
 	// A tombstone whose close event is at or below the fence is only
 	// needed until this compaction drops the matching create event; prune
@@ -229,6 +231,8 @@ func (m *Manager) restore(snap *store.Snapshot, events []store.Event) ([]*Sessio
 		// top (only those not already reflected) add to them.
 		m.observations.Store(snap.Observations)
 		m.warmStarts.Store(snap.WarmStarts)
+		m.repoHits.Store(snap.RepoHits)
+		m.repoEvictions.Store(snap.RepoEvictions)
 		// Snapshotted tombstones outlived their compaction fence, so their
 		// close events are still in the log; replay rebinds the real seq.
 		for _, id := range snap.Closed {
@@ -258,6 +262,13 @@ func (m *Manager) restore(snap *store.Snapshot, events []store.Event) ([]*Sessio
 	for i := range events {
 		m.applyEvent(&events[i])
 	}
+	// Replayed harvest events may have refilled the repository past its
+	// bound (an eviction is durable only once the next snapshot lands);
+	// re-converge on the capacity. These re-evictions are not new lifetime
+	// evictions — the counter was restored above.
+	m.repoMu.Lock()
+	m.repo.EvictDown(m.opts.RepoCapacity)
+	m.repoMu.Unlock()
 
 	// Post-replay pass: align evaluator bookkeeping, recompute terminal
 	// states, and collect interrupted auto sessions for re-queueing.

@@ -2,12 +2,15 @@ package service
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
-	"relm/internal/conf"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"relm/internal/conf"
 	"relm/internal/store"
 )
 
@@ -239,6 +242,15 @@ func TestRestoredAutoSessionMatchesUninterrupted(t *testing.T) {
 }
 
 func testRestoredAutoMatches(t *testing.T, spec Spec) {
+	testRestoredAutoMatchesStore(t, spec, store.FileOptions{}, nil)
+}
+
+// testRestoredAutoMatchesStore is the crash-matrix core: run an auto
+// session against a file store with the given options, kill the manager
+// mid-flight, optionally mangle the on-disk state (simulating what a
+// machine crash leaves behind), restore, finish, and require the stitched
+// history to bit-match an uninterrupted run.
+func testRestoredAutoMatchesStore(t *testing.T, spec Spec, fopts store.FileOptions, mangle func(t *testing.T, dir string)) {
 	// Reference: the same session driven to completion with no restart.
 	ref := newTestManager(t, Options{Workers: 1})
 	refSt, err := ref.Create(spec)
@@ -252,7 +264,7 @@ func testRestoredAutoMatches(t *testing.T, spec Spec) {
 	}
 
 	dir := t.TempDir()
-	fs, err := store.OpenFile(dir)
+	fs, err := store.OpenFile(dir, fopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,8 +292,11 @@ func testRestoredAutoMatches(t *testing.T, spec Spec) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	crash(m1)
+	if mangle != nil {
+		mangle(t, dir)
+	}
 
-	fs2, err := store.OpenFile(dir)
+	fs2, err := store.OpenFile(dir, fopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,6 +317,68 @@ func testRestoredAutoMatches(t *testing.T, spec Spec) {
 	}
 	if refFinal.Best == nil || final.Best == nil || *final.Best != *refFinal.Best {
 		t.Fatalf("best mismatch: %+v vs %+v", final.Best, refFinal.Best)
+	}
+}
+
+// TestRestoredAutoMatchesCrashMatrix re-runs the bit-match acceptance
+// under the segmented WAL's crash windows: 512-byte segments put the kill
+// mid-rotation (the log spans many segments, the last possibly empty);
+// the group-commit case fsyncs batches and then loses the tail of the
+// final batch (a machine crash mid-group-commit leaves exactly such a
+// partial batch on disk) — the lost observation is deterministically
+// re-measured, so the stitched history still bit-matches.
+func TestRestoredAutoMatchesCrashMatrix(t *testing.T) {
+	spec := Spec{Backend: "bo", Workload: "K-means", Mode: ModeAuto, Seed: 6, MaxIterations: 4}
+	t.Run("mid-segment-rotation", func(t *testing.T) {
+		testRestoredAutoMatchesStore(t, spec, store.FileOptions{SegmentBytes: 512}, nil)
+	})
+	t.Run("mid-group-commit-partial-batch", func(t *testing.T) {
+		fopts := store.FileOptions{
+			SyncEachAppend: true,
+			CommitInterval: 200 * time.Microsecond,
+			CommitBatch:    4,
+		}
+		testRestoredAutoMatchesStore(t, spec, fopts, func(t *testing.T, dir string) {
+			truncateActiveSegmentTail(t, dir, 12)
+		})
+	})
+	t.Run("gbo-mid-rotation-and-partial-batch", func(t *testing.T) {
+		gspec := Spec{Backend: "gbo", Workload: "K-means", Mode: ModeAuto, Seed: 6, MaxIterations: 4}
+		testRestoredAutoMatchesStore(t, gspec, store.FileOptions{SegmentBytes: 512}, func(t *testing.T, dir string) {
+			truncateActiveSegmentTail(t, dir, 12)
+		})
+	})
+}
+
+// truncateActiveSegmentTail cuts n bytes off the highest-numbered WAL
+// segment, tearing its last record in half.
+func truncateActiveSegmentTail(t *testing.T, dir string, n int64) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".jsonl") && name > last {
+			last = name
+		}
+	}
+	if last == "" {
+		t.Fatal("no WAL segment to truncate")
+	}
+	path := filepath.Join(dir, last)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := st.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -824,5 +901,87 @@ func TestRestoredUnsolicitedDDPG(t *testing.T) {
 	}
 	if cfg1 != cfg2 {
 		t.Fatalf("restored ddpg suggestion differs after unsolicited-only history:\n got %+v\nwant %+v", cfg2, cfg1)
+	}
+}
+
+// TestRepositoryLifecyclePersists: the model repository is bounded by
+// RepoCapacity with least-recently-matched eviction, warm-start matches
+// bump the hit counters, and both counters survive a snapshot + restart.
+// Evicted entries stay gone even though their harvest events may outlive
+// them in the log.
+func TestRepositoryLifecyclePersists(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 1, RepoCapacity: 2}
+	optsWithStore := opts
+	optsWithStore.Store = fs
+	m1, err := Open(optsWithStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(m *Manager, spec Spec) Status {
+		st, err := m.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return waitState(t, m, st.ID, StateDone)
+	}
+	// Entry 1: a cold PageRank model. Entry 2 warm-starts from it (one
+	// repository hit). Entry 3 (K-means) overflows the capacity of 2.
+	run(m1, Spec{Backend: "bo", Workload: "PageRank", Mode: ModeAuto, Seed: 1, MaxIterations: 4, WarmStart: true})
+	warm := run(m1, Spec{Backend: "bo", Workload: "PageRank", Mode: ModeAuto, Seed: 2, MaxIterations: 4, WarmStart: true})
+	if !warm.WarmStarted {
+		t.Fatalf("second PageRank session not warm-started: %+v", warm)
+	}
+	// The matched entry carries its hit while both entries are live.
+	var hits uint64
+	for _, e := range m1.RepositoryReport().Entries {
+		hits += e.Hits
+	}
+	if hits != 1 {
+		t.Fatalf("entry hit bookkeeping: %d total hits, want 1", hits)
+	}
+	run(m1, Spec{Backend: "bo", Workload: "K-means", Mode: ModeAuto, Seed: 3, MaxIterations: 4})
+
+	mt := m1.Metrics()
+	if mt.RepoEntries != 2 || mt.RepoCapacity != 2 {
+		t.Fatalf("repository not capped: %+v", mt)
+	}
+	if mt.RepoHits != 1 || mt.RepoEvictions != 1 {
+		t.Fatalf("lifecycle counters: hits=%d evictions=%d, want 1/1", mt.RepoHits, mt.RepoEvictions)
+	}
+	rep := m1.RepositoryReport()
+	if len(rep.Entries) != 2 || rep.Hits != 1 || rep.Evictions != 1 || rep.Capacity != 2 {
+		t.Fatalf("repository report: %+v", rep)
+	}
+	for _, e := range rep.Entries {
+		if len(e.Fingerprint) == 0 || e.Points == 0 || e.AddedAt.IsZero() {
+			t.Fatalf("report entry incomplete: %+v", e)
+		}
+	}
+
+	if err := m1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	crash(m1)
+
+	fs2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsWithStore2 := opts
+	optsWithStore2.Store = fs2
+	m2, err := Open(optsWithStore2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	mt2 := m2.Metrics()
+	if mt2.RepoEntries != 2 || mt2.RepoHits != 1 || mt2.RepoEvictions != 1 {
+		t.Fatalf("lifecycle state lost across restart: %+v", mt2)
 	}
 }

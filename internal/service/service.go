@@ -99,6 +99,12 @@ type Options struct {
 	// Re-profiles of one workload land within ~0.05 of each other;
 	// different workload classes differ by 0.5 or more.
 	WarmMaxDistance float64
+	// RepoCapacity bounds the shared model repository (default 1024,
+	// negative = unbounded): past it, the least-recently-matched entries
+	// are evicted so fingerprint matching stays fast as the repository
+	// grows. Harvested session IDs stay tombstoned, so an evicted entry is
+	// never resurrected by log replay.
+	RepoCapacity int
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -124,6 +130,9 @@ func (o *Options) fill() {
 	}
 	if o.WarmMaxDistance == 0 {
 		o.WarmMaxDistance = 0.25
+	}
+	if o.RepoCapacity == 0 {
+		o.RepoCapacity = 1024
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -285,13 +294,15 @@ type Manager struct {
 	repo      *bo.Repository
 	harvested map[string]struct{} // session IDs already in repo
 
-	evictions    atomic.Int64
-	observations atomic.Int64
-	warmStarts   atomic.Int64
-	sinceSnap    atomic.Int64 // events journaled since the last compaction signal
-	snapMu       sync.Mutex   // serializes whole Snapshot calls
-	journalErr   atomic.Pointer[string]
-	replaying    bool // set during Open's replay; suppresses journaling
+	evictions     atomic.Int64
+	observations  atomic.Int64
+	warmStarts    atomic.Int64
+	repoHits      atomic.Int64
+	repoEvictions atomic.Int64
+	sinceSnap     atomic.Int64 // events journaled since the last compaction signal
+	snapMu        sync.Mutex   // serializes whole Snapshot calls
+	journalErr    atomic.Pointer[string]
+	replaying     bool // set during Open's replay; suppresses journaling
 
 	jobs   chan *Session
 	quit   chan struct{}
@@ -494,6 +505,8 @@ func (m *Manager) matchWarm(clusterName string, fp profile.Stats, maxDistance, d
 	if !ok {
 		return nil
 	}
+	entry.Touch(m.opts.Now())
+	m.repoHits.Add(1)
 	return &store.Warm{
 		Source:   entry.Workload,
 		Cluster:  entry.ClusterName,
@@ -810,11 +823,17 @@ type Metrics struct {
 	Observations int64
 	Evictions    int64
 	WarmStarts   int64
-	// RepoEntries is the size of the shared model repository.
-	RepoEntries int
+	// RepoEntries is the size of the shared model repository; RepoCapacity
+	// is its eviction bound (<= 0 unbounded). RepoHits counts warm-start
+	// matches served; RepoEvictions counts entries evicted past capacity
+	// (both carried across restarts).
+	RepoEntries   int
+	RepoCapacity  int
+	RepoHits      int64
+	RepoEvictions int64
 	// Persistence reports whether a store is attached; Store carries its
-	// WAL size and compaction counters. JournalError is the most recent
-	// journaling failure, if any.
+	// WAL size, segmentation, group-commit, and compaction counters.
+	// JournalError is the most recent journaling failure, if any.
 	Persistence  bool
 	Store        store.Metrics
 	JournalError string
@@ -827,6 +846,9 @@ func (m *Manager) Metrics() Metrics {
 		Observations:    m.observations.Load(),
 		Evictions:       m.evictions.Load(),
 		WarmStarts:      m.warmStarts.Load(),
+		RepoCapacity:    m.opts.RepoCapacity,
+		RepoHits:        m.repoHits.Load(),
+		RepoEvictions:   m.repoEvictions.Load(),
 	}
 	for _, sh := range m.shards {
 		sh.mu.RLock()
@@ -861,6 +883,55 @@ func (m *Manager) Repository() bo.Repository {
 	m.repoMu.Lock()
 	defer m.repoMu.Unlock()
 	return bo.Repository{Entries: append([]bo.RepoEntry(nil), m.repo.Entries...)}
+}
+
+// RepoEntryInfo is the inspection view of one repository entry: provenance,
+// fingerprint coordinates, and lifecycle counters — everything except the
+// prior points themselves, which can be large.
+type RepoEntryInfo struct {
+	Workload    string
+	Cluster     string
+	Fingerprint []float64
+	DefaultSec  float64
+	Points      int
+	Hits        uint64
+	AddedAt     time.Time
+	LastUsed    time.Time
+}
+
+// RepositoryReport is the point-in-time inspection snapshot of the model
+// repository, served by GET /v1/repository.
+type RepositoryReport struct {
+	Capacity  int
+	Hits      int64
+	Evictions int64
+	Entries   []RepoEntryInfo
+}
+
+// RepositoryReport summarizes the shared model repository for inspection.
+func (m *Manager) RepositoryReport() RepositoryReport {
+	rep := RepositoryReport{
+		Capacity:  m.opts.RepoCapacity,
+		Hits:      m.repoHits.Load(),
+		Evictions: m.repoEvictions.Load(),
+	}
+	m.repoMu.Lock()
+	defer m.repoMu.Unlock()
+	rep.Entries = make([]RepoEntryInfo, 0, len(m.repo.Entries))
+	for i := range m.repo.Entries {
+		e := &m.repo.Entries[i]
+		rep.Entries = append(rep.Entries, RepoEntryInfo{
+			Workload:    e.Workload,
+			Cluster:     e.ClusterName,
+			Fingerprint: bo.FingerprintVector(e.Fingerprint),
+			DefaultSec:  e.DefaultSec,
+			Points:      len(e.Points),
+			Hits:        e.Hits,
+			AddedAt:     e.AddedAt,
+			LastUsed:    e.LastUsed,
+		})
+	}
+	return rep
 }
 
 // --- internals -------------------------------------------------------------
@@ -952,11 +1023,14 @@ func (m *Manager) harvestLocked(s *Session) {
 	if err != nil {
 		return
 	}
+	now := m.opts.Now()
 	entry := bo.RepoEntry{
 		Workload:    wl.Name,
 		ClusterName: cl.Name,
 		Fingerprint: fp,
 		DefaultSec:  defaultSec,
+		AddedAt:     now,
+		LastUsed:    now,
 	}
 	for _, h := range s.history {
 		entry.Points = append(entry.Points, bo.PriorPoint{
@@ -969,8 +1043,12 @@ func (m *Manager) harvestLocked(s *Session) {
 	m.repoMu.Lock()
 	m.repo.Entries = append(m.repo.Entries, entry)
 	m.harvested[s.id] = struct{}{}
+	// Capacity eviction: drop the least-recently-matched entries. Their
+	// session IDs stay in m.harvested, so a harvest event still in the log
+	// cannot resurrect them on replay.
+	m.repoEvictions.Add(int64(len(m.repo.EvictDown(m.opts.RepoCapacity))))
 	m.repoMu.Unlock()
-	m.journal(&store.Event{Type: store.EventHarvest, ID: s.id, Time: m.opts.Now(), Repo: &entry})
+	m.journal(&store.Event{Type: store.EventHarvest, ID: s.id, Time: now, Repo: &entry})
 }
 
 // fingerprintLocked returns the session's workload fingerprint and the

@@ -12,98 +12,186 @@ import (
 	"time"
 )
 
-const (
-	snapshotFile = "snapshot.json"
-	walFile      = "wal.jsonl"
-)
+const snapshotFile = "snapshot.json"
 
 // FileOptions tunes a file-backed store.
 type FileOptions struct {
-	// SyncEachAppend fsyncs the log after every event. Off by default: the
-	// log is flushed to the OS on every append (surviving process crashes)
-	// and fsynced on compaction and close (bounding loss on machine
-	// crashes to the events since the last compaction).
+	// SyncEachAppend makes every Append durable against machine crashes
+	// before it returns. Off by default: the log is flushed to the OS on
+	// every append (surviving process crashes) and fsynced on rotation,
+	// compaction, and close (bounding loss on machine crashes to the
+	// active segment's tail). With it on, appends are group-committed: the
+	// background committer coalesces concurrent appends into one
+	// write+fsync batch (see groupcommit.go).
 	SyncEachAppend bool
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 4 MiB). Sealed segments are immutable, so compaction only
+	// ever deletes them whole — it never rewrites log data.
+	SegmentBytes int64
+	// CommitInterval is an additional coalescing delay before a batch is
+	// flushed. The default (0) flushes a batch as soon as the committer
+	// is free, so appends arriving during the previous flush coalesce
+	// naturally — batch size tracks the arrival rate times the fsync
+	// latency, with no added wait. A positive interval (the latency cap,
+	// ~1–2ms) holds each batch open that long to build bigger batches,
+	// trading single-append latency for fewer fsyncs. Ignored unless
+	// SyncEachAppend is set.
+	CommitInterval time.Duration
+	// CommitBatch is the group-commit size cap: a batch this large is
+	// flushed without waiting out the interval (default 64).
+	CommitBatch int
+	// NoGroupCommit disables batching, fsyncing each append individually
+	// (the pre-segmentation behavior; also the benchmark baseline).
+	// Ignored unless SyncEachAppend is set.
+	NoGroupCommit bool
 }
 
-// File is the directory-backed Store: an append-only wal.jsonl plus the
-// latest compacted snapshot.json. Compaction writes the snapshot to a
-// temporary file, renames it into place, then rewrites the log keeping
-// only events past the snapshot's fence — every step leaves a state Load
-// can recover from.
+func (o *FileOptions) fill() {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CommitInterval < 0 {
+		o.CommitInterval = 0
+	}
+	if o.CommitBatch == 0 {
+		o.CommitBatch = 64
+	}
+}
+
+// File is the directory-backed Store: a segmented append-only log
+// (wal-000001.jsonl, wal-000002.jsonl, …) plus the latest compacted
+// snapshot.json. Appends go to the highest-numbered (active) segment and
+// rotate it at a byte threshold; compaction writes the snapshot to a
+// temporary file, renames it into place, then deletes sealed segments whose
+// events it folded in — every step leaves a state OpenFile can recover
+// from, and no step rewrites existing log data.
 type File struct {
 	dir  string
 	opts FileOptions
 
-	mu        sync.Mutex
-	f         *os.File
-	w         *bufio.Writer
-	closed    bool
-	seq       uint64
-	walBytes  int64
-	walEvents uint64
-	snapshots uint64
-	snapBytes int64
-	lastComp  time.Time
+	mu     sync.Mutex
+	f      *os.File // active segment
+	w      *bufio.Writer
+	closed bool
+	seq    uint64
+	batch  *commitBatch // open group-commit batch, nil outside gc mode
+	gc     *committer   // nil unless group commit is enabled
+
+	activeIndex  uint64
+	activeBytes  int64
+	activeEvents uint64
+	sealed       []sealedSegment
+
+	walBytes      int64 // totals across sealed + active segments
+	walEvents     uint64
+	snapshots     uint64
+	snapBytes     int64
+	lastComp      time.Time
+	pruned        uint64 // sealed segments deleted by compaction
+	batches       uint64 // group-commit batches flushed
+	batchedEvents uint64 // records flushed through group commit
 }
 
 var _ Store = (*File)(nil)
 
-// OpenFile opens (creating if needed) a file-backed store rooted at dir.
-// The sequence counter resumes past every event already on disk.
+// OpenFile opens (creating if needed) a file-backed store rooted at dir,
+// transparently adopting a pre-segmentation single-file layout (wal.jsonl
+// becomes segment 1). The sequence counter resumes past every event
+// already on disk; a torn tail in the active segment — the signature of a
+// crash mid-write — is truncated, while an undecodable line in a sealed
+// segment fails the open (sealed segments are immutable and fsynced).
 func OpenFile(dir string, opts ...FileOptions) (*File, error) {
 	var o FileOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	o.fill()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	fs := &File{dir: dir, opts: o}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := migrateLegacyWAL(dir, segs); err != nil {
+		return nil, err
+	}
+	if segs, err = listSegments(dir); err != nil {
+		return nil, err
+	}
 
+	fs := &File{dir: dir, opts: o, activeIndex: 1}
 	if snap, err := fs.readSnapshot(); err != nil {
 		return nil, err
 	} else if snap != nil {
 		fs.seq = snap.Fence
 	}
-	events, size, err := readWAL(fs.walPath())
-	if err != nil {
-		return nil, err
-	}
-	fs.walBytes, fs.walEvents = size, uint64(len(events))
-	for _, ev := range events {
-		if ev.Seq > fs.seq {
-			fs.seq = ev.Seq
-		}
-	}
-	// Drop a torn tail (crash mid-append) before appending: without the
-	// truncate, the next event would concatenate onto the partial line and
-	// the merged garbage line would swallow it on the following recovery.
-	if st, err := os.Stat(fs.walPath()); err == nil && st.Size() > size {
-		if err := os.Truncate(fs.walPath(), size); err != nil {
-			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
-		}
-	}
 	if st, err := os.Stat(fs.snapPath()); err == nil {
 		fs.snapBytes = st.Size()
 	}
 
-	f, err := os.OpenFile(fs.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var maxSeq uint64
+	for i, idx := range segs {
+		active := i == len(segs)-1
+		path := filepath.Join(dir, segmentName(idx))
+		events, size, err := readWALFile(path, active)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range events {
+			if ev.Seq > maxSeq {
+				maxSeq = ev.Seq
+			}
+		}
+		fs.walBytes += size
+		fs.walEvents += uint64(len(events))
+		if active {
+			// Drop a torn tail before appending: without the truncate, the
+			// next event would concatenate onto the partial line and the
+			// merged garbage would swallow it on the following recovery.
+			if st, err := os.Stat(path); err == nil && st.Size() > size {
+				if err := os.Truncate(path, size); err != nil {
+					return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+				}
+			}
+			fs.activeIndex = idx
+			fs.activeBytes = size
+			fs.activeEvents = uint64(len(events))
+		} else {
+			fs.sealed = append(fs.sealed, sealedSegment{
+				index:   idx,
+				path:    path,
+				bytes:   size,
+				events:  uint64(len(events)),
+				lastSeq: maxSeq,
+			})
+		}
+	}
+	if maxSeq > fs.seq {
+		fs.seq = maxSeq
+	}
+
+	f, err := os.OpenFile(fs.activePath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: open wal: %w", err)
+		return nil, fmt.Errorf("store: open wal segment: %w", err)
 	}
 	fs.f, fs.w = f, bufio.NewWriter(f)
+	if o.SyncEachAppend && !o.NoGroupCommit {
+		fs.gc = newCommitter(fs, o.CommitInterval)
+	}
 	return fs, nil
 }
 
-func (s *File) walPath() string  { return filepath.Join(s.dir, walFile) }
-func (s *File) snapPath() string { return filepath.Join(s.dir, snapshotFile) }
+func (s *File) activePath() string { return filepath.Join(s.dir, segmentName(s.activeIndex)) }
+func (s *File) snapPath() string   { return filepath.Join(s.dir, snapshotFile) }
 
-// Append journals one event and flushes it to the OS.
+// Append journals one event. Without SyncEachAppend it is flushed to the
+// OS and returns; with it, the call blocks until the event's group-commit
+// batch is fsynced (or, with NoGroupCommit, fsyncs individually).
 func (s *File) Append(ev *Event) (uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, errors.New("store: append to closed store")
 	}
 	s.seq++
@@ -111,23 +199,100 @@ func (s *File) Append(ev *Event) (uint64, error) {
 	buf, err := json.Marshal(ev)
 	if err != nil {
 		s.seq--
+		s.mu.Unlock()
 		return 0, fmt.Errorf("store: encode event: %w", err)
 	}
 	buf = append(buf, '\n')
+	seq := ev.Seq
+
+	if s.gc != nil {
+		b := s.gc.join(s, buf)
+		s.mu.Unlock()
+		<-b.done
+		return seq, b.err
+	}
+	err = s.writeLocked(buf, 1, s.opts.SyncEachAppend)
+	s.mu.Unlock()
+	return seq, err
+}
+
+// writeLocked appends raw records to the active segment, optionally
+// fsyncs, and rotates the segment past the byte threshold. Callers hold
+// s.mu.
+func (s *File) writeLocked(buf []byte, n int, sync bool) error {
 	if _, err := s.w.Write(buf); err != nil {
-		return 0, fmt.Errorf("store: append: %w", err)
+		return fmt.Errorf("store: append: %w", err)
 	}
 	if err := s.w.Flush(); err != nil {
-		return 0, fmt.Errorf("store: flush: %w", err)
+		return fmt.Errorf("store: flush: %w", err)
 	}
-	if s.opts.SyncEachAppend {
+	if sync {
 		if err := s.f.Sync(); err != nil {
-			return 0, fmt.Errorf("store: sync: %w", err)
+			return fmt.Errorf("store: sync: %w", err)
 		}
 	}
+	s.activeBytes += int64(len(buf))
+	s.activeEvents += uint64(n)
 	s.walBytes += int64(len(buf))
-	s.walEvents++
-	return ev.Seq, nil
+	s.walEvents += uint64(n)
+	if s.activeBytes >= s.opts.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// commitPendingLocked flushes the open group-commit batch, waking its
+// appenders. Callers hold s.mu.
+func (s *File) commitPendingLocked() {
+	b := s.batch
+	s.batch = nil
+	if b == nil {
+		return
+	}
+	b.err = s.writeLocked(b.buf, b.n, true)
+	if b.err == nil {
+		s.batches++
+		s.batchedEvents += uint64(b.n)
+	}
+	close(b.done)
+}
+
+// rotateLocked seals the active segment and opens the next one. The
+// outgoing segment is fsynced BEFORE the successor's file is created:
+// recovery reads every non-highest segment strictly, so its contents must
+// be durable by the time the successor's directory entry can possibly
+// exist — a machine crash anywhere inside the rotation leaves either the
+// old segment as the (tail-tolerant) active one or the sealed-only /
+// empty-successor layouts, never a torn sealed segment. Callers hold s.mu.
+func (s *File) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync sealed segment: %w", err)
+	}
+	next := s.activeIndex + 1
+	nf, err := os.OpenFile(filepath.Join(s.dir, segmentName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old segment stays active and writable; rotation retries on
+		// the next append.
+		return fmt.Errorf("store: open next segment: %w", err)
+	}
+	// The outgoing data is already durable, so a close failure cannot lose
+	// events; finish the rotation either way and surface the error.
+	closeErr := s.f.Close()
+	s.sealed = append(s.sealed, sealedSegment{
+		index:   s.activeIndex,
+		path:    s.activePath(),
+		bytes:   s.activeBytes,
+		events:  s.activeEvents,
+		lastSeq: s.seq,
+	})
+	s.activeIndex = next
+	s.activeBytes, s.activeEvents = 0, 0
+	s.f, s.w = nf, bufio.NewWriter(nf)
+	syncDir(s.dir)
+	if closeErr != nil {
+		return fmt.Errorf("store: close sealed segment: %w", closeErr)
+	}
+	return nil
 }
 
 // Seq returns the last assigned sequence number.
@@ -137,9 +302,10 @@ func (s *File) Seq() uint64 {
 	return s.seq
 }
 
-// Load returns the latest snapshot and the live log. A truncated or
-// corrupt log tail — the signature of a crash mid-append — ends the replay
-// at the last whole event instead of failing recovery.
+// Load returns the latest snapshot and the live log, streaming segments in
+// index order. A truncated or corrupt tail of the active segment — the
+// signature of a crash mid-write — ends the replay at the last whole event
+// instead of failing recovery; sealed segments are read strictly.
 func (s *File) Load() (*Snapshot, []Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,11 +318,19 @@ func (s *File) Load() (*Snapshot, []Event, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	events, _, err := readWAL(s.walPath())
+	var events []Event
+	for _, seg := range s.sealed {
+		evs, _, err := readWALFile(seg.path, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		events = append(events, evs...)
+	}
+	evs, _, err := readWALFile(s.activePath(), true)
 	if err != nil {
 		return nil, nil, err
 	}
-	return snap, events, nil
+	return snap, append(events, evs...), nil
 }
 
 func (s *File) readSnapshot() (*Snapshot, error) {
@@ -174,9 +348,17 @@ func (s *File) readSnapshot() (*Snapshot, error) {
 	return &snap, nil
 }
 
-// readWAL scans a JSONL log, stopping silently at the first undecodable
-// line (a torn write from a crash).
-func readWAL(path string) ([]Event, int64, error) {
+// readWALFile scans one JSONL segment. With tolerateTail (the active
+// segment) it stops silently at the first undecodable line — a torn write
+// from a crash — returning the byte size of the whole prefix; without it
+// (sealed segments) an undecodable line is corruption and errors out.
+//
+// A record is whole only when its trailing newline made it to disk: a
+// final line that decodes but is unterminated (the crash fell exactly on
+// the newline boundary) is still a torn tail — keeping it would let the
+// next O_APPEND write concatenate onto it and turn two events into one
+// undecodable line on the following recovery.
+func readWALFile(path string, tolerateTail bool) ([]Event, int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
@@ -185,9 +367,15 @@ func readWAL(path string) ([]Event, int64, error) {
 		return nil, 0, fmt.Errorf("store: open wal: %w", err)
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: stat wal: %w", err)
+	}
 	var (
-		events []Event
-		size   int64
+		events   []Event
+		size     int64
+		lastLine int64 // bytes counted for the most recent line (incl. newline)
+		lastWas  bool  // the most recent line decoded into an event
 	)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -195,30 +383,52 @@ func readWAL(path string) ([]Event, int64, error) {
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
 			size += int64(len(line)) + 1
+			lastLine, lastWas = int64(len(line))+1, false
 			continue
 		}
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			break // torn tail: recover up to the last whole event
+			if tolerateTail {
+				return events, size, nil // torn tail: keep the whole prefix
+			}
+			return nil, 0, fmt.Errorf("store: sealed segment %s corrupt: %w", filepath.Base(path), err)
 		}
 		events = append(events, ev)
 		size += int64(len(line)) + 1
+		lastLine, lastWas = int64(len(line))+1, true
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+	if err := sc.Err(); err != nil && !(tolerateTail && errors.Is(err, bufio.ErrTooLong)) {
 		return nil, 0, fmt.Errorf("store: scan wal: %w", err)
+	}
+	if size > st.Size() {
+		// The final line had no trailing newline (size counted one that is
+		// not on disk): treat it as torn.
+		if !tolerateTail {
+			return nil, 0, fmt.Errorf("store: sealed segment %s corrupt: unterminated final record", filepath.Base(path))
+		}
+		size -= lastLine
+		if lastWas {
+			events = events[:len(events)-1]
+		}
 	}
 	return events, size, nil
 }
 
-// Compact atomically persists the snapshot, then rewrites the log keeping
-// only events past the snapshot's fence. Appends block for the duration;
-// callers collect the snapshot without holding the store lock.
+// Compact atomically persists the snapshot, then deletes sealed segments
+// whose events all sit at or below the snapshot's fence. Nothing is ever
+// rewritten: the active segment and any sealed segment straddling the
+// fence are left alone (replay is idempotent, so their already-folded
+// events may safely reappear), and when no segment qualifies the log is
+// not touched at all — the pre-check is one comparison per sealed segment.
 func (s *File) Compact(snap *Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("store: compact closed store")
 	}
+	// Flush the open group-commit batch first so its appenders are not
+	// left waiting out the compaction's file writes.
+	s.commitPendingLocked()
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("store: flush: %w", err)
 	}
@@ -232,37 +442,36 @@ func (s *File) Compact(snap *Snapshot) error {
 	}
 	s.snapBytes = int64(len(buf))
 
-	events, _, err := readWAL(s.walPath())
-	if err != nil {
-		return err
+	// A fence covering every event in the log (the common case: the
+	// snapshotter fences at Seq) lets the log empty out completely — seal
+	// the active segment so the prune below takes it too, and the next
+	// recovery replays nothing. Still no rewrite: sealing is a rotation.
+	if s.activeEvents > 0 && s.seq <= snap.Fence {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
 	}
-	var keep []byte
-	var kept uint64
-	for _, ev := range events {
-		if ev.Seq <= snap.Fence {
+
+	keep := make([]sealedSegment, 0, len(s.sealed))
+	removed := false
+	for i, seg := range s.sealed {
+		if seg.lastSeq > snap.Fence {
+			keep = append(keep, seg)
 			continue
 		}
-		line, err := json.Marshal(ev)
-		if err != nil {
-			return fmt.Errorf("store: re-encode event: %w", err)
+		if err := os.Remove(seg.path); err != nil {
+			s.sealed = append(keep, s.sealed[i:]...)
+			return fmt.Errorf("store: prune segment: %w", err)
 		}
-		keep = append(keep, line...)
-		keep = append(keep, '\n')
-		kept++
+		s.walBytes -= seg.bytes
+		s.walEvents -= seg.events
+		s.pruned++
+		removed = true
 	}
-	if err := atomicWrite(s.walPath(), keep); err != nil {
-		return err
+	s.sealed = keep
+	if removed {
+		syncDir(s.dir)
 	}
-	// The append handle points at the replaced inode; reopen on the new log.
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("store: close old wal: %w", err)
-	}
-	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: reopen wal: %w", err)
-	}
-	s.f, s.w = f, bufio.NewWriter(f)
-	s.walBytes, s.walEvents = int64(len(keep)), kept
 	s.snapshots++
 	s.lastComp = time.Now()
 	return nil
@@ -293,7 +502,18 @@ func atomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// Metrics reports log size and compaction counters.
+// syncDir fsyncs a directory so renames, new segments, and deletions are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Metrics reports log size, segmentation, and compaction counters.
 func (s *File) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -301,20 +521,32 @@ func (s *File) Metrics() Metrics {
 		WALBytes:       s.walBytes,
 		WALEvents:      s.walEvents,
 		Seq:            s.seq,
+		Segments:       1 + len(s.sealed),
+		PrunedSegments: s.pruned,
+		Batches:        s.batches,
+		BatchedEvents:  s.batchedEvents,
 		Snapshots:      s.snapshots,
 		LastCompaction: s.lastComp,
 		SnapshotBytes:  s.snapBytes,
 	}
 }
 
-// Close flushes, fsyncs, and closes the log.
+// Close flushes any open batch, stops the committer, fsyncs, and closes
+// the active segment.
 func (s *File) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.commitPendingLocked()
+	s.mu.Unlock()
+	if s.gc != nil {
+		s.gc.stop()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("store: flush: %w", err)

@@ -90,26 +90,43 @@ func (s *Mem) Compact(snap *Snapshot) error {
 	}
 	s.snap = buf
 
-	var keep [][]byte
-	var bytes int64
-	for _, line := range s.log {
-		var ev Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("store: decode event: %w", err)
+	// Cheap pre-check mirroring File: the log is append-ordered by seq, so
+	// if even the first event is past the fence nothing can be pruned —
+	// skip the rewrite entirely.
+	if len(s.log) > 0 && firstSeq(s.log[0]) <= snap.Fence {
+		var keep [][]byte
+		var bytes int64
+		for _, line := range s.log {
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return fmt.Errorf("store: decode event: %w", err)
+			}
+			if ev.Seq <= snap.Fence {
+				continue
+			}
+			keep = append(keep, line)
+			bytes += int64(len(line)) + 1
 		}
-		if ev.Seq <= snap.Fence {
-			continue
-		}
-		keep = append(keep, line)
-		bytes += int64(len(line)) + 1
+		s.log, s.walBytes = keep, bytes
 	}
-	s.log, s.walBytes = keep, bytes
 	s.snapshots++
 	s.lastComp = time.Now()
 	return nil
 }
 
-// Metrics reports log size and compaction counters.
+// firstSeq decodes only the sequence number of a marshaled event.
+func firstSeq(line []byte) uint64 {
+	var ev struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return 0
+	}
+	return ev.Seq
+}
+
+// Metrics reports log size and compaction counters. Mem is a single
+// implicit segment.
 func (s *Mem) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,6 +134,7 @@ func (s *Mem) Metrics() Metrics {
 		WALBytes:       s.walBytes,
 		WALEvents:      uint64(len(s.log)),
 		Seq:            s.seq,
+		Segments:       1,
 		Snapshots:      s.snapshots,
 		LastCompaction: s.lastComp,
 		SnapshotBytes:  int64(len(s.snap)),

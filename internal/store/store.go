@@ -14,7 +14,11 @@
 // append one repository entry each, and the snapshot folds them in.
 //
 // Two implementations are provided: File (a directory holding
-// snapshot.json and wal.jsonl) and Mem (tests, ephemeral servers).
+// snapshot.json and a segmented log, wal-000001.jsonl, wal-000002.jsonl, …)
+// and Mem (tests, ephemeral servers). The file log rotates segments at a
+// byte threshold, so compaction only ever deletes whole sealed segments —
+// it never rewrites log data — and, with SyncEachAppend, group-commits
+// concurrent appends into shared fsync batches (see groupcommit.go).
 package store
 
 import (
@@ -135,13 +139,21 @@ type Snapshot struct {
 	Evictions    int64 `json:"evictions,omitempty"`
 	Observations int64 `json:"observations,omitempty"`
 	WarmStarts   int64 `json:"warm_starts,omitempty"`
+	// RepoHits and RepoEvictions carry the repository lifecycle counters
+	// (warm-start matches served, entries evicted past capacity).
+	RepoHits      int64 `json:"repo_hits,omitempty"`
+	RepoEvictions int64 `json:"repo_evictions,omitempty"`
 }
 
 // Metrics reports the store's observability counters.
 type Metrics struct {
-	WALBytes       int64     `json:"wal_bytes"`       // size of the live log
-	WALEvents      uint64    `json:"wal_events"`      // events in the live log
+	WALBytes       int64     `json:"wal_bytes"`       // size of the live log, all segments
+	WALEvents      uint64    `json:"wal_events"`      // events in the live log, all segments
 	Seq            uint64    `json:"seq"`             // last assigned sequence number
+	Segments       int       `json:"segments"`        // live log segments (sealed + active)
+	PrunedSegments uint64    `json:"pruned_segments"` // sealed segments deleted by compaction (this process)
+	Batches        uint64    `json:"batches"`         // group-commit batches flushed (this process)
+	BatchedEvents  uint64    `json:"batched_events"`  // events flushed through group commit (this process)
 	Snapshots      uint64    `json:"snapshots"`       // compactions taken (this process)
 	LastCompaction time.Time `json:"last_compaction"` // zero if never compacted
 	SnapshotBytes  int64     `json:"snapshot_bytes"`  // size of the last snapshot
@@ -159,9 +171,12 @@ type Store interface {
 	// the live log, in append order. Events already folded into the
 	// snapshot may appear again; replay is expected to be idempotent.
 	Load() (*Snapshot, []Event, error)
-	// Compact persists a snapshot and drops log events with seq <=
-	// snap.Fence (they are folded into the snapshot). Events past the
-	// fence are retained.
+	// Compact persists a snapshot and prunes log events with seq <=
+	// snap.Fence (they are folded into the snapshot) where pruning is
+	// cheap: File deletes whole sealed segments and never rewrites log
+	// data, so pre-fence events in surviving segments may reappear on
+	// Load — replay is idempotent by contract. Events past the fence are
+	// always retained.
 	Compact(snap *Snapshot) error
 	// Metrics reports log size and compaction counters.
 	Metrics() Metrics

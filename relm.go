@@ -258,17 +258,37 @@ type SessionObservation = service.Observation
 type SessionStatus = service.Status
 
 // ServiceMetrics is the service's observability snapshot (session counts
-// by state, observation/eviction/warm-start counters, WAL size).
+// by state, observation/eviction/warm-start counters, WAL size and
+// segmentation, group-commit batching, repository hit/evict counters).
 type ServiceMetrics = service.Metrics
 
-// SessionStore is the durable knowledge store of the tuning service: an
-// append-only write-ahead log of session events with periodic compacted
-// snapshots, carrying both session state and the shared model repository.
+// ServiceRepositoryReport is the inspection snapshot of the service's
+// model repository (entries with fingerprints and lifecycle counters),
+// as served by GET /v1/repository.
+type ServiceRepositoryReport = service.RepositoryReport
+
+// SessionStore is the durable knowledge store of the tuning service: a
+// segmented append-only write-ahead log of session events with periodic
+// compacted snapshots, carrying both session state and the shared model
+// repository.
 type SessionStore = store.Store
 
+// SessionStoreOptions tunes a file-backed session store: segment rotation
+// size, per-append durability, and the group-commit latency/size caps.
+type SessionStoreOptions = store.FileOptions
+
 // OpenFileSessionStore opens (creating if needed) a directory-backed
-// session store: <dir>/wal.jsonl plus <dir>/snapshot.json.
+// session store: <dir>/snapshot.json plus a segmented log
+// (<dir>/wal-000001.jsonl, …). A pre-segmentation directory holding a
+// single wal.jsonl is adopted transparently.
 func OpenFileSessionStore(dir string) (SessionStore, error) { return store.OpenFile(dir) }
+
+// OpenFileSessionStoreOptions is OpenFileSessionStore with explicit store
+// options (segment size, fsync-per-append with group commit, commit
+// interval and batch caps).
+func OpenFileSessionStoreOptions(dir string, opts SessionStoreOptions) (SessionStore, error) {
+	return store.OpenFile(dir, opts)
+}
 
 // NewMemSessionStore returns an in-memory session store with the same
 // semantics as the file-backed one (tests, ephemeral servers).
