@@ -10,8 +10,12 @@
 // baseline benchmark disappeared from the run. Because absolute wall-clock
 // medians do not transfer across hardware, the absolute gate downgrades to
 // warnings when the baseline's recorded CPU differs from the run's;
-// -ratio gates (invariants between two benchmarks of the same run, e.g.
-// "group commit beats per-record fsync 3x") are enforced on any hardware.
+// repeatable -ratio gates (invariants between two benchmarks of the same
+// run, e.g. "group commit beats per-record fsync 3x") are enforced on any
+// hardware. Every gate is evaluated before the exit status is decided and
+// the verdicts are rendered as one per-family summary table, so a single
+// run reports the whole regression picture instead of aborting at the
+// first failure.
 //
 // The baseline is refreshed by copying a trusted run's result file over
 // it (e.g. after landing an intentional perf change or moving CI to new
@@ -39,6 +43,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is the file benchgate writes and compares.
@@ -113,44 +118,78 @@ func main() {
 		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(res.Benchmarks), *out)
 	}
 
-	failed := false
+	// Evaluate every gate — ratio invariants and per-family absolute
+	// comparisons — then render one summary table and exit once, so a
+	// single run reports the full regression picture instead of aborting
+	// at the first failure.
+	var rows []gateRow
 	for _, g := range ratios {
-		if msg, ok := g.check(res); !ok {
-			fmt.Fprintln(os.Stderr, "benchgate: ratio gate failed: "+msg)
-			failed = true
-		} else {
-			fmt.Println("benchgate: ratio gate ok: " + msg)
-		}
+		rows = append(rows, g.row(res))
 	}
-
 	if *baseline != "" {
 		base, err := readResult(*baseline)
 		if err != nil {
 			fatalf("read baseline: %v", err)
 		}
-		regressions := compare(base, res, *threshold)
-		switch {
-		case len(regressions) == 0:
-			fmt.Printf("benchgate: %d benchmarks within +%.0f%% of baseline %s\n", len(base.Benchmarks), *threshold*100, *baseline)
-		case base.CPU != "" && base.CPU != res.CPU:
+		cpuMismatch := base.CPU != "" && base.CPU != res.CPU
+		if cpuMismatch {
 			// The baseline was recorded on different hardware: absolute
-			// ns/op medians do not transfer, so report without failing.
-			// Refresh the baseline from a run on this runner class to
-			// re-arm the absolute gate; ratio gates stay enforced.
-			fmt.Fprintf(os.Stderr, "benchgate: baseline CPU %q != current %q; absolute comparisons are warnings only:\n", base.CPU, res.CPU)
-			for _, line := range regressions {
-				fmt.Fprintln(os.Stderr, "benchgate: warning: "+line)
-			}
-		default:
-			for _, line := range regressions {
-				fmt.Fprintln(os.Stderr, "benchgate: "+line)
-			}
-			failed = true
+			// ns/op medians do not transfer, so absolute failures
+			// downgrade to warnings. Refresh the baseline from a run on
+			// this runner class to re-arm the gate; ratio gates (between
+			// benchmarks of the same run) stay enforced regardless.
+			fmt.Fprintf(os.Stderr, "benchgate: baseline CPU %q != current %q; absolute comparisons are warnings only\n", base.CPU, res.CPU)
+		}
+		rows = append(rows, compare(base, res, *threshold, cpuMismatch)...)
+	}
+	printTable(rows)
+	failed := 0
+	for _, row := range rows {
+		if row.status == statusFail {
+			failed++
 		}
 	}
-	if failed {
-		fatalf("benchmark gate failed")
+	if failed > 0 {
+		fatalf("%d of %d gates failed", failed, len(rows))
 	}
+	if len(rows) > 0 {
+		fmt.Printf("benchgate: all %d gates passed\n", len(rows))
+	}
+}
+
+// Gate outcomes.
+const (
+	statusOK   = "ok"
+	statusFail = "FAIL"
+	statusWarn = "warn" // absolute regression on mismatched hardware
+)
+
+// gateRow is one line of the summary table: one benchmark family under one
+// gate.
+type gateRow struct {
+	family string
+	gate   string // "ratio" or "absolute"
+	status string
+	detail string
+}
+
+// printTable renders the per-family gate summary.
+func printTable(rows []gateRow) {
+	if len(rows) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].gate != rows[j].gate {
+			return rows[i].gate < rows[j].gate
+		}
+		return rows[i].family < rows[j].family
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "STATUS\tGATE\tFAMILY\tDETAIL")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", row.status, row.gate, row.family, row.detail)
+	}
+	w.Flush()
 }
 
 // ratioGate is one hardware-independent invariant between two benchmarks
@@ -172,17 +211,27 @@ func parseRatioGate(v string) (ratioGate, error) {
 	return ratioGate{num: parts[0], den: parts[1], max: max}, nil
 }
 
-func (g ratioGate) check(res *Result) (string, bool) {
+// row evaluates the gate against one run.
+func (g ratioGate) row(res *Result) gateRow {
+	row := gateRow{family: g.num, gate: "ratio"}
 	num, ok1 := res.Benchmarks[g.num]
 	den, ok2 := res.Benchmarks[g.den]
-	if !ok1 || !ok2 {
-		return fmt.Sprintf("%s / %s: benchmark missing from this run", g.num, g.den), false
+	switch {
+	case !ok1 || !ok2:
+		row.status = statusFail
+		row.detail = fmt.Sprintf("vs %s: benchmark missing from this run", g.den)
+	case den.NsPerOp <= 0:
+		row.status = statusFail
+		row.detail = fmt.Sprintf("%s: zero ns/op denominator", g.den)
+	default:
+		ratio := num.NsPerOp / den.NsPerOp
+		row.status = statusOK
+		if ratio > g.max {
+			row.status = statusFail
+		}
+		row.detail = fmt.Sprintf("/ %s = %.3f (limit %.3f)", g.den, ratio, g.max)
 	}
-	if den.NsPerOp <= 0 {
-		return fmt.Sprintf("%s: zero ns/op denominator", g.den), false
-	}
-	ratio := num.NsPerOp / den.NsPerOp
-	return fmt.Sprintf("%s / %s = %.3f (limit %.3f)", g.num, g.den, ratio, g.max), ratio <= g.max
+	return row
 }
 
 func fatalf(format string, args ...any) {
@@ -265,31 +314,43 @@ func readResult(path string) (*Result, error) {
 	return &res, nil
 }
 
-// compare reports every baseline benchmark that regressed past the
-// threshold or went missing. New benchmarks (in res but not base) pass
-// freely — they gate once they enter the baseline.
-func compare(base, res *Result, threshold float64) []string {
+// compare produces one summary row per baseline benchmark: within the
+// threshold, regressed past it, or missing from the run. A regression on
+// mismatched hardware downgrades to a warning (absolute medians do not
+// transfer across CPUs); a missing benchmark fails regardless — deleting a
+// family is a gate escape, not a hardware artifact. New benchmarks (in res
+// but not base) pass freely — they gate once they enter the baseline.
+func compare(base, res *Result, threshold float64, cpuMismatch bool) []gateRow {
 	var names []string
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var bad []string
+	var rows []gateRow
 	for _, name := range names {
 		b := base.Benchmarks[name]
+		row := gateRow{family: name, gate: "absolute"}
 		cur, ok := res.Benchmarks[name]
-		if !ok {
-			bad = append(bad, fmt.Sprintf("%s: present in baseline but missing from this run", name))
-			continue
+		switch {
+		case !ok:
+			row.status = statusFail
+			row.detail = "present in baseline but missing from this run"
+		case b.NsPerOp <= 0:
+			row.status = statusOK
+			row.detail = "baseline has no ns/op"
+		default:
+			ratio := cur.NsPerOp / b.NsPerOp
+			row.status = statusOK
+			row.detail = fmt.Sprintf("%.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.2fx)",
+				cur.NsPerOp, b.NsPerOp, ratio, 1+threshold)
+			if ratio > 1+threshold {
+				row.status = statusFail
+				if cpuMismatch {
+					row.status = statusWarn
+				}
+			}
 		}
-		if b.NsPerOp <= 0 {
-			continue
-		}
-		ratio := cur.NsPerOp / b.NsPerOp
-		if ratio > 1+threshold {
-			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.2fx)",
-				name, cur.NsPerOp, b.NsPerOp, ratio, 1+threshold))
-		}
+		rows = append(rows, row)
 	}
-	return bad
+	return rows
 }

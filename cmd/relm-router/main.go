@@ -1,0 +1,113 @@
+// Command relm-router is the stateless HTTP front door of a multi-node
+// tuning cluster: it partitions sessions across relm-serve backends by
+// rendezvous hashing on the session ID, proxies the whole /v1/sessions
+// lifecycle to each session's home node, merges the cluster-wide read
+// endpoints (/v1/sessions, /v1/metrics, /v1/repository), health-checks the
+// backends with exponential backoff, and orchestrates node drain/hand-off.
+//
+// Because placement is a pure function of (session ID, healthy-node set),
+// any number of router replicas can run side by side with no shared state.
+//
+// Usage:
+//
+//	relm-router -backends a=http://10.0.0.1:8080,b=http://10.0.0.2:8080 \
+//	            [-addr :8090] [-check-interval 2s] [-check-backoff-max 30s] \
+//	            [-fail-after 2] [-timeout 15s]
+//
+// Cluster operations:
+//
+//	curl -s localhost:8090/v1/cluster                 # node table
+//	curl -s -X POST localhost:8090/v1/cluster/drain/a # drain node a, hand sessions to survivors
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"relm/internal/router"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		backends   = flag.String("backends", "", "comma-separated backends, each 'name=url' (name must match the node's -node-id)")
+		checkIvl   = flag.Duration("check-interval", 2*time.Second, "healthy-backend poll period")
+		backoffMax = flag.Duration("check-backoff-max", 30*time.Second, "failing-backend poll backoff cap")
+		failAfter  = flag.Int("fail-after", 2, "consecutive health-check failures before a backend is routed around")
+		timeout    = flag.Duration("timeout", 15*time.Second, "per-request backend timeout")
+	)
+	flag.Parse()
+
+	bs, err := parseBackends(*backends)
+	if err != nil {
+		log.Fatalf("parse -backends: %v", err)
+	}
+	r, err := router.New(router.Options{
+		Backends:      bs,
+		CheckInterval: *checkIvl,
+		BackoffMax:    *backoffMax,
+		FailAfter:     *failAfter,
+		Timeout:       *timeout,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("start router: %v", err)
+	}
+	defer r.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           r,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("relm-router listening on %s (%d backends, check-interval=%s)", *addr, len(bs), *checkIvl)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}
+
+// parseBackends splits "a=http://host:port,b=..." into Backend specs.
+func parseBackends(s string) ([]router.Backend, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("no backends given (want -backends 'name=url,name=url')")
+	}
+	var out []router.Backend
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok || name == "" || u == "" {
+			return nil, fmt.Errorf("bad backend %q (want 'name=url')", part)
+		}
+		out = append(out, router.Backend{Name: name, URL: u})
+	}
+	return out, nil
+}

@@ -24,6 +24,12 @@
 //	           [-data-dir relm-data] [-snapshot-every 1024] [-fsync]
 //	           [-wal-segment-bytes 4194304] [-commit-interval 0]
 //	           [-warm-distance 0.25] [-repo-cap 1024]
+//	           [-node-id a] [-advertise http://10.0.0.1:8080]
+//
+// In a multi-node cluster each node runs with a unique -node-id (session
+// IDs become "<node>-sess-N", unique without coordination) and a
+// relm-router in front partitions sessions across the nodes; see
+// cmd/relm-router.
 //
 // One full remote tuning loop:
 //
@@ -64,6 +70,8 @@ func main() {
 		commitIvl    = flag.Duration("commit-interval", 0, "group-commit latency cap: extra time an fsync batch coalesces (with -fsync; 0 = flush as soon as the committer is free)")
 		warmDistance = flag.Float64("warm-distance", 0.25, "default fingerprint-distance threshold for warm-start matching")
 		repoCap      = flag.Int("repo-cap", 1024, "model-repository capacity; least-recently-matched entries are evicted past it (negative = unbounded)")
+		nodeID       = flag.String("node-id", "", "node identity in a multi-node cluster: prefixes session IDs, reported by /healthz for router verification")
+		advertise    = flag.String("advertise", "", "URL routers should reach this node at (informational, surfaced by /healthz)")
 	)
 	flag.Parse()
 
@@ -74,6 +82,8 @@ func main() {
 		SnapshotEvery:   *snapEvery,
 		WarmMaxDistance: *warmDistance,
 		RepoCapacity:    *repoCap,
+		NodeID:          *nodeID,
+		Advertise:       *advertise,
 	}
 	if *dataDir != "" {
 		st, err := store.OpenFile(*dataDir, store.FileOptions{
@@ -109,7 +119,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("relm-serve listening on %s (workers=%d ttl=%s data-dir=%q)", *addr, *workers, *ttl, *dataDir)
+	log.Printf("relm-serve listening on %s (node=%q workers=%d ttl=%s data-dir=%q)", *addr, *nodeID, *workers, *ttl, *dataDir)
 
 	select {
 	case <-ctx.Done():

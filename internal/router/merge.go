@@ -1,0 +1,436 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"relm/internal/service"
+)
+
+// This file holds the cluster-wide read endpoints — fan out to every
+// eligible node, merge — and the drain orchestration. Merges are
+// all-or-nothing: a backend failing mid-fan-out yields 502 with per-node
+// detail, never a silent partial merge that under-reports the cluster.
+
+// nodeResult is one backend's answer to a fan-out request.
+type nodeResult struct {
+	node   *node
+	status int
+	body   []byte
+	err    error
+}
+
+// emptyIs503 guards a fan-out with no eligible nodes: an empty merge must
+// read as "cluster unreachable", never as "cluster is empty" — monitoring
+// that trusts a 200 [] would report a dead cluster as a quiet one.
+func emptyIs503(w http.ResponseWriter, results []nodeResult) bool {
+	if len(results) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy backend"})
+		return true
+	}
+	return false
+}
+
+// fanout issues one request to every eligible node concurrently.
+func (r *Router) fanout(req *http.Request, method, path string, body []byte) []nodeResult {
+	nodes := r.eligibleNodes()
+	results := make([]nodeResult, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, buf, _, err := r.send(r.client, req, n, method, path, "", body)
+			results[i] = nodeResult{node: n, status: status, body: buf, err: err}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// gatherErrors collects per-node failures of a fan-out; nil when clean.
+func (r *Router) gatherErrors(results []nodeResult) map[string]string {
+	var errs map[string]string
+	for _, res := range results {
+		var detail string
+		switch {
+		case res.err != nil:
+			res.node.suspect(res.err, r.opts.FailAfter)
+			detail = res.err.Error()
+		case res.status != http.StatusOK:
+			detail = fmt.Sprintf("status %d: %s", res.status, truncate(res.body, 200))
+		default:
+			continue
+		}
+		if errs == nil {
+			errs = make(map[string]string)
+		}
+		errs[res.node.name] = detail
+	}
+	return errs
+}
+
+func truncate(b []byte, n int) string {
+	s := string(b)
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// writePartialFailure answers a failed merge: 502 with per-node detail.
+func writePartialFailure(w http.ResponseWriter, errs map[string]string) {
+	writeJSON(w, http.StatusBadGateway, map[string]any{
+		"error": "partial backend failure",
+		"nodes": errs,
+	})
+}
+
+// handleList merges every node's session listing, each entry stamped with
+// its serving node, ordered by (node, id) for determinism.
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	results := r.fanout(req, http.MethodGet, "/v1/sessions", nil)
+	if emptyIs503(w, results) {
+		return
+	}
+	if errs := r.gatherErrors(results); errs != nil {
+		writePartialFailure(w, errs)
+		return
+	}
+	merged := make([]map[string]any, 0, 16)
+	for _, res := range results {
+		var list []map[string]any
+		if err := json.Unmarshal(res.body, &list); err != nil {
+			writePartialFailure(w, map[string]string{res.node.name: "bad listing body: " + err.Error()})
+			return
+		}
+		for _, st := range list {
+			st["node"] = res.node.name
+			merged = append(merged, st)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		ni, _ := merged[i]["node"].(string)
+		nj, _ := merged[j]["node"].(string)
+		if ni != nj {
+			return ni < nj
+		}
+		ii, _ := merged[i]["id"].(string)
+		ij, _ := merged[j]["id"].(string)
+		return ii < ij
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleMetrics merges every node's /v1/metrics: numeric counters summed
+// into totals, per-state session counts summed, and each node's raw
+// snapshot kept under per_node.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	results := r.fanout(req, http.MethodGet, "/v1/metrics", nil)
+	if emptyIs503(w, results) {
+		return
+	}
+	if errs := r.gatherErrors(results); errs != nil {
+		writePartialFailure(w, errs)
+		return
+	}
+	totals := make(map[string]float64)
+	byState := make(map[string]float64)
+	perNode := make(map[string]json.RawMessage, len(results))
+	for _, res := range results {
+		var mt map[string]any
+		if err := json.Unmarshal(res.body, &mt); err != nil {
+			writePartialFailure(w, map[string]string{res.node.name: "bad metrics body: " + err.Error()})
+			return
+		}
+		for k, v := range mt {
+			switch val := v.(type) {
+			case float64:
+				totals[k] += val
+			case map[string]any:
+				if k == "sessions_by_state" {
+					for state, c := range val {
+						if f, ok := c.(float64); ok {
+							byState[state] += f
+						}
+					}
+				}
+			}
+		}
+		perNode[res.node.name] = json.RawMessage(res.body)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":             len(results),
+		"totals":            totals,
+		"sessions_by_state": byState,
+		"per_node":          perNode,
+	})
+}
+
+// handleRepository merges the repository inspection views: lifecycle
+// counters summed, model lists concatenated with their node stamped on.
+func (r *Router) handleRepository(w http.ResponseWriter, req *http.Request) {
+	results := r.fanout(req, http.MethodGet, "/v1/repository", nil)
+	if emptyIs503(w, results) {
+		return
+	}
+	if errs := r.gatherErrors(results); errs != nil {
+		writePartialFailure(w, errs)
+		return
+	}
+	var entries, hits, evictions float64
+	models := make([]map[string]any, 0, 16)
+	for _, res := range results {
+		var rep struct {
+			Entries   float64          `json:"entries"`
+			Hits      float64          `json:"hits"`
+			Evictions float64          `json:"evictions"`
+			Models    []map[string]any `json:"models"`
+		}
+		if err := json.Unmarshal(res.body, &rep); err != nil {
+			writePartialFailure(w, map[string]string{res.node.name: "bad repository body: " + err.Error()})
+			return
+		}
+		entries += rep.Entries
+		hits += rep.Hits
+		evictions += rep.Evictions
+		for _, mdl := range rep.Models {
+			mdl["node"] = res.node.name
+			models = append(models, mdl)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":     len(results),
+		"entries":   entries,
+		"hits":      hits,
+		"evictions": evictions,
+		"models":    models,
+	})
+}
+
+// handleRepoExport concatenates every node's full repository export.
+func (r *Router) handleRepoExport(w http.ResponseWriter, req *http.Request) {
+	results := r.fanout(req, http.MethodGet, "/v1/repository/export", nil)
+	if emptyIs503(w, results) {
+		return
+	}
+	if errs := r.gatherErrors(results); errs != nil {
+		writePartialFailure(w, errs)
+		return
+	}
+	merged := make([]json.RawMessage, 0, 16)
+	for _, res := range results {
+		var exp struct {
+			Models []json.RawMessage `json:"models"`
+		}
+		if err := json.Unmarshal(res.body, &exp); err != nil {
+			writePartialFailure(w, map[string]string{res.node.name: "bad export body: " + err.Error()})
+			return
+		}
+		merged = append(merged, exp.Models...)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": merged})
+}
+
+// handleRepoImport broadcasts an import to every eligible node (imports are
+// idempotent on the backend, so replaying a partially-failed broadcast is
+// safe).
+func (r *Router) handleRepoImport(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "read body: " + err.Error()})
+		return
+	}
+	results := r.fanout(req, http.MethodPost, "/v1/repository/import", body)
+	if len(results) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy backend"})
+		return
+	}
+	if errs := r.gatherErrors(results); errs != nil {
+		writePartialFailure(w, errs)
+		return
+	}
+	imported := make(map[string]int, len(results))
+	for _, res := range results {
+		var imp service.RepoImportResponse
+		if err := json.Unmarshal(res.body, &imp); err != nil {
+			writePartialFailure(w, map[string]string{res.node.name: "bad import body: " + err.Error()})
+			return
+		}
+		imported[res.node.name] = imp.Imported
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"imported": imported})
+}
+
+// --- drain orchestration ---------------------------------------------------
+
+// reassignment records where one drained session went.
+type reassignment struct {
+	ID          string `json:"id"`
+	Node        string `json:"node"`
+	WarmStarted bool   `json:"warm_started"`
+}
+
+// recreateBodies renders drained sessions as ready-to-POST /v1/sessions
+// bodies (ID included), for hand-off error responses.
+func recreateBodies(sessions []service.DrainSessionJSON) []service.CreateRequest {
+	out := make([]service.CreateRequest, 0, len(sessions))
+	for _, ds := range sessions {
+		c := ds.Create
+		c.ID = ds.ID
+		out = append(out, c)
+	}
+	return out
+}
+
+// handleDrain drains one node and hands its sessions off:
+//
+//  1. the node is taken out of placement immediately,
+//  2. POST /v1/drain closes its sessions, force-harvesting them into the
+//     model repository, and returns the hand-off package,
+//  3. the exported repository is imported into every surviving node,
+//  4. each non-terminal session is re-created — same ID, original spec,
+//     warm-start requested — on its new rendezvous owner, which seeds it
+//     from the just-imported repository entries (§6.6).
+//
+// Any hand-off failure yields 502 with detail, and the drain is not rolled
+// back (the node is already out of service). Re-running the drain cannot
+// recover — a second service Drain returns an empty report — so the 502
+// carries everything needed to finish the hand-off by hand: each un-placed
+// session as a ready-to-POST /v1/sessions body (ID included; the backend
+// answers 409 if a retry already placed it), and the exported models when
+// any import failed (re-POST them to /v1/repository/import — idempotent).
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("node")
+	n := r.nodeByName(name)
+	if n == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown node %q", name)})
+		return
+	}
+	n.mu.Lock()
+	n.draining = true
+	n.mu.Unlock()
+	r.logf("router: draining node %s", name)
+
+	status, body, _, err := r.send(r.drainClient, req, n, http.MethodPost, "/v1/drain", "", []byte("{}"))
+	if err != nil {
+		n.suspect(err, r.opts.FailAfter)
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error": "drain request failed: " + err.Error(), "node": name,
+		})
+		return
+	}
+	if status != http.StatusOK {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error": fmt.Sprintf("drain status %d: %s", status, truncate(body, 200)), "node": name,
+		})
+		return
+	}
+	var drained service.DrainResponse
+	if err := json.Unmarshal(body, &drained); err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error": "bad drain body: " + err.Error(), "node": name,
+		})
+		return
+	}
+
+	survivors := r.eligibleNodes()
+	if len(survivors) == 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":      "no healthy successor: sessions closed; finish the hand-off by POSTing each unassigned create and the models once a node is back",
+			"node":       name,
+			"closed":     drained.Closed,
+			"unassigned": recreateBodies(drained.Sessions),
+			"models":     drained.Models,
+		})
+		return
+	}
+
+	// Share the drained node's models so any successor can warm-start.
+	errs := make(map[string]string)
+	importFailed := false
+	if len(drained.Models) > 0 {
+		importBody, err := json.Marshal(service.RepoImportRequest{Models: drained.Models})
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": "encode import: " + err.Error()})
+			return
+		}
+		for _, s := range survivors {
+			status, buf, _, err := r.send(r.drainClient, req, s, http.MethodPost, "/v1/repository/import", "", importBody)
+			if err != nil {
+				errs["import "+s.name] = err.Error()
+				importFailed = true
+			} else if status != http.StatusOK {
+				errs["import "+s.name] = fmt.Sprintf("status %d: %s", status, truncate(buf, 200))
+				importFailed = true
+			}
+		}
+	}
+
+	// Re-create each non-terminal session on its new rendezvous owner.
+	reassigned := make([]reassignment, 0, len(drained.Sessions))
+	var unassigned []service.CreateRequest
+	for _, ds := range drained.Sessions {
+		create := ds.Create
+		create.ID = ds.ID
+		createBody, err := json.Marshal(create)
+		if err != nil {
+			errs["reassign "+ds.ID] = "encode: " + err.Error()
+			unassigned = append(unassigned, create)
+			continue
+		}
+		placed := false
+		for _, succ := range candidates(survivors, ds.ID) {
+			if !succ.eligible() {
+				continue
+			}
+			status, buf, _, err := r.send(r.drainClient, req, succ, http.MethodPost, "/v1/sessions", "", createBody)
+			if err != nil {
+				succ.suspect(err, r.opts.FailAfter)
+				continue
+			}
+			if status != http.StatusCreated {
+				errs["reassign "+ds.ID] = fmt.Sprintf("node %s: status %d: %s", succ.name, status, truncate(buf, 200))
+				break
+			}
+			var st service.StatusResponse
+			_ = json.Unmarshal(buf, &st)
+			reassigned = append(reassigned, reassignment{ID: ds.ID, Node: succ.name, WarmStarted: st.WarmStarted})
+			placed = true
+			break
+		}
+		if !placed {
+			unassigned = append(unassigned, create)
+			if errs["reassign "+ds.ID] == "" {
+				errs["reassign "+ds.ID] = "no reachable successor"
+			}
+		}
+	}
+
+	resp := map[string]any{
+		"node":       name,
+		"closed":     drained.Closed,
+		"models":     len(drained.Models),
+		"reassigned": reassigned,
+	}
+	if len(errs) > 0 {
+		// The hand-off package for the operator: re-POST each unassigned
+		// body to /v1/sessions (409 = a retry already placed it); on
+		// import failures, re-POST models_detail to /v1/repository/import.
+		resp["error"] = "drain hand-off incomplete"
+		resp["nodes"] = errs
+		resp["unassigned"] = unassigned
+		if importFailed {
+			resp["models_detail"] = drained.Models
+		}
+		writeJSON(w, http.StatusBadGateway, resp)
+		return
+	}
+	r.logf("router: drained %s: %d sessions closed, %d reassigned, %d models shared",
+		name, drained.Closed, len(reassigned), len(drained.Models))
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"relm/internal/bo"
 	"relm/internal/conf"
 	"relm/internal/profile"
 )
@@ -45,6 +46,11 @@ func (cj ConfigJSON) toConfig() conf.Config {
 
 // CreateRequest is the body of POST /v1/sessions.
 type CreateRequest struct {
+	// ID optionally assigns the session ID (Spec.ID): a cluster router
+	// mints IDs so it can place sessions by consistent hashing before they
+	// exist. Duplicate IDs fail with 409; the node's own "sess-N" counter
+	// namespace is reserved and fails with 400.
+	ID            string `json:"id,omitempty"`
 	Backend       string `json:"backend"`
 	Workload      string `json:"workload"`
 	Cluster       string `json:"cluster"`
@@ -89,6 +95,7 @@ type BestJSON struct {
 // StatusResponse is the wire form of a session status.
 type StatusResponse struct {
 	ID       string    `json:"id"`
+	Node     string    `json:"node,omitempty"`
 	Backend  string    `json:"backend"`
 	Workload string    `json:"workload"`
 	Cluster  string    `json:"cluster"`
@@ -118,6 +125,8 @@ type HistoryJSON struct {
 
 // MetricsResponse is the body of GET /v1/metrics.
 type MetricsResponse struct {
+	Node            string         `json:"node,omitempty"`
+	Draining        bool           `json:"draining,omitempty"`
 	Sessions        int            `json:"sessions"`
 	SessionsByState map[string]int `json:"sessions_by_state"`
 	Observations    int64          `json:"observations"`
@@ -138,6 +147,59 @@ type MetricsResponse struct {
 	SnapshotBytes   int64          `json:"snapshot_bytes,omitempty"`
 	LastCompaction  *time.Time     `json:"last_compaction,omitempty"`
 	JournalError    string         `json:"journal_error,omitempty"`
+}
+
+// DrainSessionJSON is one drained session on the wire: the state it held,
+// and the body a router can POST to a successor node (with the id re-added)
+// to re-create it, warm-started from the exported repository when the
+// session's fingerprint is known.
+type DrainSessionJSON struct {
+	ID     string        `json:"id"`
+	State  string        `json:"state"`
+	Evals  int           `json:"evals"`
+	Create CreateRequest `json:"create"`
+}
+
+// DrainResponse is the body of POST /v1/drain: the hand-off package.
+type DrainResponse struct {
+	Node     string             `json:"node,omitempty"`
+	Closed   int                `json:"closed"`
+	Sessions []DrainSessionJSON `json:"sessions"`
+	Models   []bo.RepoEntry     `json:"models"`
+}
+
+// RepoExportResponse is the body of GET /v1/repository/export — the full
+// repository entries, prior points included, for another node to import.
+// RepoImportRequest is the same shape POSTed to /v1/repository/import.
+type RepoExportResponse struct {
+	Models []bo.RepoEntry `json:"models"`
+}
+
+// RepoImportRequest is the body of POST /v1/repository/import.
+type RepoImportRequest struct {
+	Models []bo.RepoEntry `json:"models"`
+}
+
+// RepoImportResponse is the body returned by POST /v1/repository/import.
+type RepoImportResponse struct {
+	Imported int `json:"imported"`
+}
+
+// specToCreateRequest renders a Spec as the wire request that re-creates it.
+func specToCreateRequest(spec Spec) CreateRequest {
+	return CreateRequest{
+		Backend:           spec.Backend,
+		Workload:          spec.Workload,
+		Cluster:           spec.Cluster,
+		Mode:              spec.Mode,
+		Seed:              spec.Seed,
+		MaxIterations:     spec.MaxIterations,
+		MaxSteps:          spec.MaxSteps,
+		WarmStart:         spec.WarmStart,
+		WarmMaxDistance:   spec.WarmMaxDistance,
+		Stats:             spec.Stats,
+		DefaultRuntimeSec: spec.DefaultRuntimeSec,
+	}
 }
 
 // RepoEntryJSON is the wire form of one repository entry's inspection view.
@@ -164,6 +226,7 @@ type RepositoryResponse struct {
 func toStatusResponse(st Status) StatusResponse {
 	resp := StatusResponse{
 		ID:       st.ID,
+		Node:     st.Node,
 		Backend:  st.Backend,
 		Workload: st.Workload,
 		Cluster:  st.Cluster,
@@ -204,6 +267,10 @@ type errorJSON struct {
 //	DELETE /v1/sessions/{id}          close the session (idempotent)
 //	GET    /v1/metrics                service + store observability counters
 //	GET    /v1/repository             model-repository inspection (entries, fingerprints, hit/evict counters)
+//	GET    /v1/repository/export      full repository entries, prior points included
+//	POST   /v1/repository/import      merge another node's exported entries (idempotent)
+//	POST   /v1/drain                  take the node out of service; returns the hand-off package
+//	GET    /healthz                   liveness + node identity + draining flag
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -213,6 +280,7 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		st, err := m.Create(Spec{
+			ID:                req.ID,
 			Backend:           req.Backend,
 			Workload:          req.Workload,
 			Cluster:           req.Cluster,
@@ -301,6 +369,8 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		mt := m.Metrics()
 		resp := MetricsResponse{
+			Node:            mt.Node,
+			Draining:        mt.Draining,
 			Sessions:        mt.Sessions,
 			SessionsByState: mt.SessionsByState,
 			Observations:    mt.Observations,
@@ -362,15 +432,63 @@ func NewHandler(m *Manager) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		rep := m.Drain()
+		resp := DrainResponse{
+			Node:     rep.Node,
+			Closed:   rep.Closed,
+			Sessions: make([]DrainSessionJSON, 0, len(rep.Sessions)),
+			Models:   rep.Repo,
+		}
+		for _, ds := range rep.Sessions {
+			resp.Sessions = append(resp.Sessions, DrainSessionJSON{
+				ID:     ds.ID,
+				State:  ds.State,
+				Evals:  ds.Evals,
+				Create: specToCreateRequest(ds.Spec),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/repository/export", func(w http.ResponseWriter, r *http.Request) {
+		repo := m.Repository()
+		writeJSON(w, http.StatusOK, RepoExportResponse{Models: repo.Entries})
+	})
+
+	mux.HandleFunc("POST /v1/repository/import", func(w http.ResponseWriter, r *http.Request) {
+		var req RepoImportRequest
+		// Entries carry whole prior-point sets; allow a larger body than
+		// the per-session endpoints.
+		if !decodeJSONLimit(w, r, &req, 64<<20) {
+			return
+		}
+		writeJSON(w, http.StatusOK, RepoImportResponse{Imported: m.ImportRepository(req.Models)})
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": m.Len()})
+		resp := map[string]any{"ok": true, "sessions": m.Len()}
+		if id := m.NodeID(); id != "" {
+			resp["node"] = id
+		}
+		if adv := m.Advertise(); adv != "" {
+			resp["advertise"] = adv
+		}
+		if m.Draining() {
+			resp["draining"] = true
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	return mux
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeJSONLimit(w, r, v, 1<<20)
+}
+
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
@@ -404,7 +522,9 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusGone
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrTooMany):
 		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrManagerDown):
+	case errors.Is(err, ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrManagerDown), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
 	default:
 		code = http.StatusBadRequest

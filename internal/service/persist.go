@@ -492,7 +492,7 @@ func sessionNum(id string) (uint64, bool) {
 // bumpNextID advances the session-ID counter past a replayed ID so new
 // sessions never collide with journaled ones.
 func (m *Manager) bumpNextID(id string) {
-	num, ok := sessionNum(id)
+	num, ok := m.sessionNum(id)
 	if !ok {
 		return
 	}

@@ -72,6 +72,8 @@ var (
 	ErrBusy        = errors.New("service: session queue full")
 	ErrTooMany     = errors.New("service: session limit reached")
 	ErrManagerDown = errors.New("service: manager closed")
+	ErrExists      = errors.New("service: session ID already in use")
+	ErrDraining    = errors.New("service: node draining, not accepting sessions")
 )
 
 // Options configures a Manager. Zero values select sensible defaults.
@@ -105,6 +107,15 @@ type Options struct {
 	// grows. Harvested session IDs stay tombstoned, so an evicted entry is
 	// never resurrected by log replay.
 	RepoCapacity int
+	// NodeID names this manager in a multi-node deployment. When set, it
+	// prefixes generated session IDs ("<node>-sess-N", cluster-unique
+	// without coordination) and is reported by /healthz, /v1/metrics, and
+	// every session status, so a router can verify it is talking to the
+	// node it thinks it is. Letters, digits, '.', '_', and '-' only.
+	NodeID string
+	// Advertise is the URL this node wants routers and operators to reach
+	// it at; purely informational, surfaced by /healthz.
+	Advertise string
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -141,6 +152,15 @@ func (o *Options) fill() {
 
 // Spec describes one tuning session to create.
 type Spec struct {
+	// ID optionally assigns the session's ID instead of the manager's
+	// "sess-N" counter. A cluster router uses it to place sessions by
+	// consistent hashing: the routing key must be known before the session
+	// exists, so the router mints the ID and every node honours it.
+	// Creating an ID the manager has already seen (live or tombstoned)
+	// fails with ErrExists; the manager's own counter namespace
+	// ("sess-N", node-prefixed when NodeID is set) is reserved and
+	// rejected outright. Same character set as Options.NodeID.
+	ID string
 	// Backend selects the policy: "relm" (default), "bo", "gbo", or "ddpg".
 	Backend string
 	// Workload is a Table 2 / TPC-H workload name (default "PageRank").
@@ -201,6 +221,7 @@ type BestReport struct {
 // Status is a point-in-time snapshot of one session.
 type Status struct {
 	ID       string
+	Node     string // the serving node's identity (empty single-node)
 	Backend  string
 	Workload string
 	Cluster  string
@@ -279,10 +300,11 @@ const tombstoneKept = ^uint64(0)
 type Manager struct {
 	opts Options
 
-	shards []*shard
-	count  atomic.Int64  // live sessions (MaxSessions gate)
-	nextID atomic.Uint64 // session-ID counter
-	closed atomic.Bool
+	shards   []*shard
+	count    atomic.Int64  // live sessions (MaxSessions gate)
+	nextID   atomic.Uint64 // session-ID counter
+	closed   atomic.Bool
+	draining atomic.Bool // Drain ran: Create rejects new sessions
 	// life fences Create against Close: Create registers and journals a
 	// session under the read lock, Close takes the write lock once after
 	// flipping closed — so no create event can reach the store after Close
@@ -327,6 +349,9 @@ func NewManager(opts Options) *Manager {
 // history, and re-queues interrupted auto sessions on the worker pool. The
 // Manager takes ownership of the Store and closes it on Close.
 func Open(opts Options) (*Manager, error) {
+	if opts.NodeID != "" && !validIdent(opts.NodeID) {
+		return nil, fmt.Errorf("service: bad node ID %q (want letters, digits, '.', '_', '-')", opts.NodeID)
+	}
 	m := newManager(opts)
 	var autos []*Session
 	if m.opts.Store != nil {
@@ -434,6 +459,45 @@ func (m *Manager) shardFor(id string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// sessionID renders the n-th counter-assigned session ID, namespaced by the
+// node identity so IDs from different nodes never collide in a cluster.
+func (m *Manager) sessionID(n uint64) string {
+	if m.opts.NodeID != "" {
+		return fmt.Sprintf("%s-sess-%d", m.opts.NodeID, n)
+	}
+	return fmt.Sprintf("sess-%d", n)
+}
+
+// sessionNum parses the counter of an ID in this manager's namespace; false
+// for foreign IDs (other nodes' prefixes, router-minted IDs).
+func (m *Manager) sessionNum(id string) (uint64, bool) {
+	if m.opts.NodeID != "" {
+		rest, ok := strings.CutPrefix(id, m.opts.NodeID+"-")
+		if !ok {
+			return 0, false
+		}
+		id = rest
+	}
+	return sessionNum(id)
+}
+
+// validIdent reports whether s is a legal node or session identifier:
+// letters, digits, '.', '_', and '-', at most 128 bytes.
+func validIdent(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // resolve maps a Spec's symbolic names onto concrete cluster, workload, and
@@ -568,16 +632,49 @@ func (m *Manager) Create(spec Spec) (Status, error) {
 	if m.closed.Load() {
 		return Status{}, ErrManagerDown
 	}
+	if m.draining.Load() {
+		return Status{}, ErrDraining
+	}
 	if m.count.Add(1) > int64(m.opts.MaxSessions) {
 		m.count.Add(-1)
 		return Status{}, ErrTooMany
 	}
-	s.id = fmt.Sprintf("sess-%d", m.nextID.Add(1))
-
-	sh := m.shardFor(s.id)
-	sh.mu.Lock()
-	sh.sessions[s.id] = s
-	sh.mu.Unlock()
+	if spec.ID != "" {
+		// Caller-assigned ID (a router placing sessions by consistent
+		// hash). Refuse IDs this manager has seen before — a duplicate
+		// would either shadow a live session or resurrect a closed one.
+		if !validIdent(spec.ID) {
+			m.count.Add(-1)
+			return Status{}, fmt.Errorf("service: bad session ID %q (want letters, digits, '.', '_', '-')", spec.ID)
+		}
+		s.id = spec.ID
+		if num, ok := m.sessionNum(s.id); ok && s.id == m.sessionID(num) {
+			// The counter namespace is reserved outright: an ID the counter
+			// already issued may have had its tombstone pruned by
+			// compaction, and an ID it has not issued yet would collide
+			// with a concurrent counter-assigned create the moment the
+			// counter catches up.
+			m.count.Add(-1)
+			return Status{}, fmt.Errorf("service: bad session ID %q (the counter namespace %q is reserved)", s.id, m.sessionID(0))
+		}
+		sh := m.shardFor(s.id)
+		sh.mu.Lock()
+		_, live := sh.sessions[s.id]
+		_, dead := sh.closed[s.id]
+		if live || dead {
+			sh.mu.Unlock()
+			m.count.Add(-1)
+			return Status{}, fmt.Errorf("%w: %s", ErrExists, s.id)
+		}
+		sh.sessions[s.id] = s
+		sh.mu.Unlock()
+	} else {
+		s.id = m.sessionID(m.nextID.Add(1))
+		sh := m.shardFor(s.id)
+		sh.mu.Lock()
+		sh.sessions[s.id] = s
+		sh.mu.Unlock()
+	}
 
 	m.journal(&store.Event{Type: store.EventCreate, ID: s.id, Time: now, Spec: specRecord(spec)})
 	if s.warm != nil {
@@ -736,8 +833,8 @@ func (m *Manager) CloseSession(id string) error {
 		// manager lineage has issued (persisted via NextID) that is no
 		// longer live must have been closed or evicted — stay idempotent
 		// for those, and report ErrNotFound only for IDs never issued.
-		if num, ok := sessionNum(id); ok && num > 0 && num <= m.nextID.Load() &&
-			id == fmt.Sprintf("sess-%d", num) { // canonical form only: "sess-007" was never issued
+		if num, ok := m.sessionNum(id); ok && num > 0 && num <= m.nextID.Load() &&
+			id == m.sessionID(num) { // canonical form only: "sess-007" was never issued
 			return nil
 		}
 		return ErrNotFound
@@ -811,8 +908,150 @@ func (m *Manager) Sweep() int {
 	return len(evict)
 }
 
+// DrainedSession is one session a Drain closed, carrying everything a
+// router needs to re-create it on a successor node: the original spec,
+// augmented into a warm-start request when the session's workload
+// fingerprint is known (the §6.6 hand-off — the successor matches the
+// fingerprint against the repository entries the drain exported and seeds
+// the rebuilt session with the drained one's observations).
+type DrainedSession struct {
+	ID    string
+	State string // state at drain time, before the close
+	Evals int
+	Spec  Spec // re-create spec; ID cleared, warm-start fields filled when possible
+}
+
+// DrainReport is the result of draining a node.
+type DrainReport struct {
+	Node     string
+	Sessions []DrainedSession // non-terminal sessions eligible for hand-off
+	Closed   int              // every session the drain closed, terminal ones included
+	Repo     []bo.RepoEntry   // full model repository, drained-session harvests included
+}
+
+// Drain takes this node out of service: it stops accepting new sessions
+// (Create fails with ErrDraining), force-harvests every live session into
+// the model repository — a partial model still transfers (§6.6) — closes
+// them all with journaled tombstones, and returns the hand-off report: the
+// re-create specs of the non-terminal sessions plus the full repository for
+// the successors to import. Draining is terminal for the process and
+// idempotent: a second Drain returns an empty report.
+func (m *Manager) Drain() DrainReport {
+	m.draining.Store(true)
+	// Barrier: in-flight Creates registered under life.RLock before the
+	// flag flipped; wait them out so the sweep below sees every session.
+	m.life.Lock()
+	m.life.Unlock() //nolint:staticcheck // empty critical section is the barrier
+
+	now := m.opts.Now()
+	rep := DrainReport{Node: m.opts.NodeID}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for id, s := range sh.sessions {
+			sessions = append(sessions, s)
+			delete(sh.sessions, id)
+			sh.closed[id] = tombstoneKept
+		}
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			m.count.Add(-1)
+			s.mu.Lock()
+			state := s.state
+			if state != StateFailed {
+				m.harvestLocked(s) // idempotent; done sessions already harvested
+			}
+			if state == StateActive || state == StateQueued || state == StateRunning {
+				ds := DrainedSession{ID: s.id, State: state, Evals: len(s.history), Spec: s.spec}
+				ds.Spec.ID = ""
+				if fp, sec, ok := s.fingerprintLocked(); ok {
+					fpCopy := fp
+					ds.Spec.WarmStart = true
+					ds.Spec.Stats = &fpCopy
+					ds.Spec.DefaultRuntimeSec = sec
+				}
+				rep.Sessions = append(rep.Sessions, ds)
+			}
+			s.state = StateClosed
+			s.mu.Unlock()
+			rep.Closed++
+			m.journalClose(s.id, now)
+		}
+	}
+	m.repoMu.Lock()
+	rep.Repo = append([]bo.RepoEntry(nil), m.repo.Entries...)
+	m.repoMu.Unlock()
+	return rep
+}
+
+// Draining reports whether Drain has run.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// NodeID returns the manager's node identity (empty single-node).
+func (m *Manager) NodeID() string { return m.opts.NodeID }
+
+// Advertise returns the URL the node asks routers to reach it at.
+func (m *Manager) Advertise() string { return m.opts.Advertise }
+
+// ImportRepository merges foreign model-repository entries (another node's
+// Drain export) into this manager's repository, journaling each new entry
+// so it survives restarts. Entries already present — matched by workload,
+// cluster, fingerprint, default runtime, and size — are skipped, so imports
+// are idempotent and a mesh of nodes cross-importing converges. Returns how
+// many entries were added.
+func (m *Manager) ImportRepository(entries []bo.RepoEntry) int {
+	added := 0
+	now := m.opts.Now()
+	for i := range entries {
+		e := entries[i]
+		key := importKey(&e)
+		m.repoMu.Lock()
+		if _, ok := m.harvested[key]; ok {
+			m.repoMu.Unlock()
+			continue
+		}
+		dup := false
+		for j := range m.repo.Entries {
+			if importKey(&m.repo.Entries[j]) == key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			// A locally-harvested twin: remember the key so replays of the
+			// import journal stay no-ops, but add nothing.
+			m.harvested[key] = struct{}{}
+			m.repoMu.Unlock()
+			continue
+		}
+		m.repo.Entries = append(m.repo.Entries, e)
+		m.harvested[key] = struct{}{}
+		m.repoEvictions.Add(int64(len(m.repo.EvictDown(m.opts.RepoCapacity))))
+		m.repoMu.Unlock()
+		m.journal(&store.Event{Type: store.EventHarvest, ID: key, Time: now, Repo: &e})
+		added++
+	}
+	return added
+}
+
+// importKey derives the stable identity of a repository entry for import
+// deduplication; it doubles as the journal ID of imported harvest events.
+func importKey(e *bo.RepoEntry) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%.9g|%d", e.Workload, e.ClusterName, e.DefaultSec, len(e.Points))
+	for _, v := range bo.FingerprintVector(e.Fingerprint) {
+		fmt.Fprintf(h, "|%.9g", v)
+	}
+	return fmt.Sprintf("import-%016x", h.Sum64())
+}
+
 // Metrics is the service's observability snapshot.
 type Metrics struct {
+	// Node is the manager's identity in a multi-node deployment (empty
+	// single-node); Draining reports whether Drain has taken it out of
+	// service.
+	Node     string
+	Draining bool
 	// Sessions is the number of live sessions; SessionsByState breaks
 	// them down (active/queued/running/done/failed).
 	Sessions        int
@@ -842,6 +1081,8 @@ type Metrics struct {
 // Metrics reports the service's observability counters.
 func (m *Manager) Metrics() Metrics {
 	mt := Metrics{
+		Node:            m.opts.NodeID,
+		Draining:        m.draining.Load(),
 		SessionsByState: make(map[string]int),
 		Observations:    m.observations.Load(),
 		Evictions:       m.evictions.Load(),
@@ -1088,6 +1329,7 @@ func (m *Manager) statusOf(s *Session) Status {
 func (m *Manager) statusLocked(s *Session) Status {
 	st := Status{
 		ID:       s.id,
+		Node:     m.opts.NodeID,
 		Backend:  s.spec.Backend,
 		Workload: s.spec.Workload,
 		Cluster:  s.spec.Cluster,

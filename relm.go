@@ -36,6 +36,7 @@ import (
 	"relm/internal/experiments"
 	"relm/internal/gbo"
 	"relm/internal/profile"
+	"relm/internal/router"
 	"relm/internal/service"
 	"relm/internal/sim"
 	"relm/internal/sim/cluster"
@@ -315,4 +316,30 @@ func OpenServiceManager(opts ServiceOptions) (*ServiceManager, error) {
 // cmd/relm-serve is the ready-made server binary.
 func NewServiceHandler(m *ServiceManager) http.Handler {
 	return service.NewHandler(m)
+}
+
+// ServiceDrainReport is what ServiceManager.Drain returns: the re-create
+// specs of the closed sessions plus the full model repository, for a
+// router to hand off to surviving nodes.
+type ServiceDrainReport = service.DrainReport
+
+// ClusterRouter is the stateless front door of a multi-node deployment:
+// it partitions sessions across relm-serve backends by rendezvous hashing
+// on the session ID, proxies the session lifecycle, merges cluster-wide
+// reads, health-checks backends with exponential backoff, and orchestrates
+// node drain/hand-off. It is an http.Handler; cmd/relm-router is the
+// ready-made binary.
+type ClusterRouter = router.Router
+
+// ClusterRouterOptions configures a ClusterRouter (backends, health-check
+// cadence and backoff, per-request timeout).
+type ClusterRouterOptions = router.Options
+
+// ClusterBackend names one relm-serve node behind a ClusterRouter.
+type ClusterBackend = router.Backend
+
+// NewClusterRouter builds a router over the given backends and starts its
+// health checkers; call Close to stop them.
+func NewClusterRouter(opts ClusterRouterOptions) (*ClusterRouter, error) {
+	return router.New(opts)
 }

@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# Cluster end-to-end check: build relm-serve + relm-router, boot 2 backends
+# + 1 router, and drive the cluster the way an operator would — a full
+# create/suggest/observe/close session lifecycle through the router, a node
+# drain whose sessions must survive onto the successor via a repository
+# warm start, and a kill-one-backend rerouting check. Every request goes
+# through curl; any non-2xx (where a 2xx is expected) or mismatched session
+# state fails the script.
+#
+# CI runs this in the cluster-e2e job; it also runs locally:
+#
+#   ./scripts/cluster_e2e.sh
+#
+# Dependencies: go, curl, jq.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+HOST=127.0.0.1
+PORT_A=18081
+PORT_B=18082
+PORT_R=18090
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "cluster-e2e: $*"; }
+
+fail() {
+    echo "cluster-e2e: FAIL: $*" >&2
+    for f in "$WORK"/*.log; do
+        [ -f "$f" ] || continue
+        echo "--- tail $f ---" >&2
+        tail -n 25 "$f" >&2
+    done
+    exit 1
+}
+
+# req METHOD URL [JSON_BODY] — runs curl, prints the response body, and
+# leaves the HTTP status in $WORK/status (req is called from command
+# substitutions, so a plain variable would die with the subshell).
+req() {
+    local method=$1 url=$2 body=${3:-}
+    local args=(-sS -o "$WORK/resp.json" -w '%{http_code}' -X "$method")
+    if [ -n "$body" ]; then
+        args+=(-H 'Content-Type: application/json' -d "$body")
+    fi
+    curl "${args[@]}" "$url" >"$WORK/status" || fail "curl $method $url"
+    cat "$WORK/resp.json"
+}
+
+# expect STATUS METHOD URL [JSON_BODY] — req + exact-status assertion.
+expect() {
+    local want=$1; shift
+    local body status
+    body=$(req "$@")
+    status=$(cat "$WORK/status")
+    [ "$status" = "$want" ] || fail "$1 $2 -> $status (want $want): $body"
+    echo "$body"
+}
+
+# jqget JSON FILTER — extract with jq, fail on null.
+jqget() {
+    local out
+    out=$(echo "$1" | jq -er "$2") || fail "jq $2 on: $1"
+    echo "$out"
+}
+
+log "building relm-serve and relm-router"
+mkdir -p "$WORK/bin"
+(cd "$ROOT" && go build -o "$WORK/bin/relm-serve" ./cmd/relm-serve)
+(cd "$ROOT" && go build -o "$WORK/bin/relm-router" ./cmd/relm-router)
+
+# start_backend NAME PORT — (re)starts one relm-serve node on its
+# persistent data dir and records its PID in PID_<NAME>.
+start_backend() {
+    local name=$1 port=$2
+    "$WORK/bin/relm-serve" -addr "$HOST:$port" -node-id "$name" \
+        -advertise "http://$HOST:$port" -data-dir "$WORK/data-$name" \
+        -workers 1 >>"$WORK/serve-$name.log" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+    eval "PID_$name=$pid"
+}
+
+# wait_healthy N — blocks until the router reports N healthy backends.
+wait_healthy() {
+    local want=$1
+    for i in $(seq 1 120); do
+        if [ "$(req GET "$R/v1/cluster" | jq -r '[.nodes[] | select(.healthy and (.draining | not))] | length')" = "$want" ]; then
+            return
+        fi
+        [ "$i" = 120 ] && fail "router never saw $want healthy backends"
+        sleep 0.25
+    done
+}
+
+log "booting backends a (:$PORT_A) and b (:$PORT_B) and the router (:$PORT_R)"
+start_backend a "$PORT_A"
+start_backend b "$PORT_B"
+"$WORK/bin/relm-router" -addr "$HOST:$PORT_R" \
+    -backends "a=http://$HOST:$PORT_A,b=http://$HOST:$PORT_B" \
+    -check-interval 250ms -check-backoff-max 2s -fail-after 2 >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+R="http://$HOST:$PORT_R"
+
+log "waiting for the router to see 2 healthy backends"
+wait_healthy 2
+
+# ---------------------------------------------------------------- phase 1
+log "phase 1: full session lifecycle through the router"
+CREATED=$(expect 201 POST "$R/v1/sessions" '{"backend":"bo","workload":"SVM","seed":11,"max_iterations":25}')
+SID=$(jqget "$CREATED" .id)
+NODE1=$(jqget "$CREATED" .node)
+log "  session $SID created on node $NODE1"
+
+for i in 1 2 3; do
+    SUG=$(expect 200 POST "$R/v1/sessions/$SID/suggest")
+    CFG=$(jqget "$SUG" .config)
+    ST=$(expect 200 POST "$R/v1/sessions/$SID/observe" "{\"config\":$CFG,\"runtime_sec\":$((200 - i)).5}")
+    EVALS=$(jqget "$ST" .evals)
+    [ "$EVALS" = "$i" ] || fail "after observe $i: evals=$EVALS (state mismatch)"
+    NODE=$(jqget "$ST" .node)
+    [ "$NODE" = "$NODE1" ] || fail "session $SID drifted from node $NODE1 to $NODE"
+done
+HIST=$(expect 200 GET "$R/v1/sessions/$SID/history")
+[ "$(echo "$HIST" | jq length)" = "3" ] || fail "history length != 3: $HIST"
+expect 204 DELETE "$R/v1/sessions/$SID" >/dev/null
+expect 404 GET "$R/v1/sessions/$SID" >/dev/null
+log "  lifecycle ok (create -> 3x suggest/observe -> history -> close)"
+
+# ---------------------------------------------------------------- phase 2
+log "phase 2: kill one live backend, router reroutes around it"
+KILLED=$(expect 201 POST "$R/v1/sessions" '{"backend":"bo","workload":"PageRank","seed":21,"max_iterations":25}')
+KSID=$(jqget "$KILLED" .id)
+KNODE=$(jqget "$KILLED" .node)
+if [ "$KNODE" = "a" ]; then KOTHER=b; else KOTHER=a; fi
+for i in 1 2; do
+    SUG=$(expect 200 POST "$R/v1/sessions/$KSID/suggest")
+    CFG=$(jqget "$SUG" .config)
+    expect 200 POST "$R/v1/sessions/$KSID/observe" "{\"config\":$CFG,\"runtime_sec\":$((180 + i))}" >/dev/null
+done
+log "  session $KSID (evals=2) homed on $KNODE; killing $KNODE without a drain"
+eval "KILL_PID=\$PID_$KNODE"
+kill -9 "$KILL_PID"
+wait "$KILL_PID" 2>/dev/null || true
+wait_healthy 1
+
+# The dead node's session rehashes to the survivor, which never saw it:
+# 404 is the documented answer — not a hang, not a 502.
+expect 404 GET "$R/v1/sessions/$KSID" >/dev/null
+for i in 1 2 3; do
+    ST=$(expect 201 POST "$R/v1/sessions" "{\"backend\":\"bo\",\"workload\":\"WordCount\",\"seed\":$i}")
+    [ "$(jqget "$ST" .node)" = "$KOTHER" ] || fail "create after kill landed on $(jqget "$ST" .node), want $KOTHER"
+done
+expect 200 GET "$R/v1/sessions" >/dev/null
+MET=$(expect 200 GET "$R/v1/metrics")
+[ "$(jqget "$MET" .nodes)" = "1" ] || fail "metrics after kill merged $(jqget "$MET" .nodes) nodes, want 1"
+expect 200 GET "$R/healthz" >/dev/null
+log "  router routed around dead $KNODE: rehash 404 for its session, creates/reads flow via $KOTHER"
+
+log "  restarting $KNODE from its data dir"
+start_backend "$KNODE" "$(if [ "$KNODE" = "a" ]; then echo "$PORT_A"; else echo "$PORT_B"; fi)"
+wait_healthy 2
+ST=$(expect 200 GET "$R/v1/sessions/$KSID")
+[ "$(jqget "$ST" .node)" = "$KNODE" ] || fail "restored session served by $(jqget "$ST" .node), want $KNODE"
+[ "$(jqget "$ST" .evals)" = "2" ] || fail "restored session lost history: evals=$(jqget "$ST" .evals), want 2"
+log "  $KNODE rejoined: session $KSID resurrected from its WAL with evals intact"
+
+# ---------------------------------------------------------------- phase 3
+log "phase 3: drain hand-off with repository warm start"
+STATS='{"N":1,"MhMB":8192,"CPUAvg":0.62,"DiskAvg":0.18,"MiMB":310,"McMB":2400,"MsMB":180,"MuMB":420,"P":2,"H":0.85,"S":0.04,"HadFullGC":true,"CoresPerNode":8}'
+CREATED=$(expect 201 POST "$R/v1/sessions" \
+    "{\"backend\":\"gbo\",\"workload\":\"K-means\",\"seed\":3,\"max_iterations\":40,\"warm_start\":true,\"stats\":$STATS,\"default_runtime_sec\":240}")
+SID=$(jqget "$CREATED" .id)
+DHOME=$(jqget "$CREATED" .node)
+if [ "$DHOME" = "a" ]; then SUCC=b; else SUCC=a; fi
+log "  session $SID homed on $DHOME; draining it, successor should be $SUCC"
+
+for i in 1 2 3 4; do
+    SUG=$(expect 200 POST "$R/v1/sessions/$SID/suggest")
+    CFG=$(jqget "$SUG" .config)
+    expect 200 POST "$R/v1/sessions/$SID/observe" "{\"config\":$CFG,\"runtime_sec\":$((220 - 5 * i))}" >/dev/null
+done
+
+DRAIN=$(expect 200 POST "$R/v1/cluster/drain/$DHOME")
+jqget "$DRAIN" ".reassigned[] | select(.id == \"$SID\")" >/dev/null \
+    || fail "drain did not reassign $SID: $DRAIN"
+RNODE=$(jqget "$DRAIN" ".reassigned[] | select(.id == \"$SID\") | .node")
+RWARM=$(jqget "$DRAIN" ".reassigned[] | select(.id == \"$SID\") | .warm_started")
+[ "$RNODE" = "$SUCC" ] || fail "session reassigned to $RNODE, want $SUCC"
+[ "$RWARM" = "true" ] || fail "reassigned session not warm-started: $DRAIN"
+
+ST=$(expect 200 GET "$R/v1/sessions/$SID")
+[ "$(jqget "$ST" .node)" = "$SUCC" ] || fail "post-drain session served by $(jqget "$ST" .node), want $SUCC"
+[ "$(jqget "$ST" .state)" = "active" ] || fail "post-drain session state $(jqget "$ST" .state), want active"
+[ "$(jqget "$ST" .warm_started)" = "true" ] || fail "post-drain session not repository-warm-started: $ST"
+expect 200 POST "$R/v1/sessions/$SID/suggest" >/dev/null
+log "  session $SID survived the drain of $DHOME: warm-started on $SUCC (source $(jqget "$ST" .warm_source))"
+
+# New sessions must land on the survivor only, and merged reads must
+# exclude the draining node.
+POST_DRAIN=$(expect 201 POST "$R/v1/sessions" '{"backend":"bo","workload":"PageRank","seed":5}')
+[ "$(jqget "$POST_DRAIN" .node)" = "$SUCC" ] || fail "post-drain create landed on $(jqget "$POST_DRAIN" .node)"
+MET=$(expect 200 GET "$R/v1/metrics")
+[ "$(jqget "$MET" .nodes)" = "1" ] || fail "metrics after drain merged $(jqget "$MET" .nodes) nodes, want 1"
+
+log "PASS"
