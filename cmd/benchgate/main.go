@@ -12,7 +12,12 @@
 // warnings when the baseline's recorded CPU differs from the run's;
 // repeatable -ratio gates (invariants between two benchmarks of the same
 // run, e.g. "group commit beats per-record fsync 3x") are enforced on any
-// hardware. Every gate is evaluated before the exit status is decided and
+// hardware. Allocation counts transfer across hardware too, so allocs/op
+// is gated everywhere it is known: repeatable -allocs gates cap a
+// benchmark's absolute allocs/op median, and any baseline benchmark that
+// recorded allocs/op is compared at the same fractional threshold as
+// ns/op, with no cross-CPU downgrade. Every gate is evaluated before the
+// exit status is decided and
 // the verdicts are rendered as one per-family summary table, so a single
 // run reports the whole regression picture instead of aborting at the
 // first failure.
@@ -29,6 +34,7 @@
 //
 //	benchgate [-input bench.txt] [-out result.json]
 //	          [-baseline BENCH_baseline.json] [-threshold 0.35]
+//	          [-ratio 'NUM|DEN|MAX'] [-allocs 'NAME|MAX']
 //	          [-note "free-form context recorded in the result"]
 package main
 
@@ -64,6 +70,9 @@ type Benchmark struct {
 	NsPerOpAll  []float64 `json:"ns_per_op_all,omitempty"`
 	BPerOp      float64   `json:"b_per_op,omitempty"`      // median, with -benchmem
 	AllocsPerOp float64   `json:"allocs_per_op,omitempty"` // median, with -benchmem
+	// MemRuns counts the repetitions that carried -benchmem columns; it
+	// distinguishes a genuine 0 allocs/op from "not measured".
+	MemRuns int `json:"mem_runs,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -86,6 +95,15 @@ func main() {
 			return err
 		}
 		ratios = append(ratios, g)
+		return nil
+	})
+	var allocGates []allocsGate
+	flag.Func("allocs", "hardware-independent gate 'NAME|MAX': fail unless allocs/op(NAME) <= MAX (requires -benchmem output); repeatable", func(v string) error {
+		g, err := parseAllocsGate(v)
+		if err != nil {
+			return err
+		}
+		allocGates = append(allocGates, g)
 		return nil
 	})
 	flag.Parse()
@@ -124,6 +142,9 @@ func main() {
 	// at the first failure.
 	var rows []gateRow
 	for _, g := range ratios {
+		rows = append(rows, g.row(res))
+	}
+	for _, g := range allocGates {
 		rows = append(rows, g.row(res))
 	}
 	if *baseline != "" {
@@ -211,6 +232,47 @@ func parseRatioGate(v string) (ratioGate, error) {
 	return ratioGate{num: parts[0], den: parts[1], max: max}, nil
 }
 
+// allocsGate caps one benchmark's absolute allocs/op median. Allocation
+// counts are a property of the code, not the hardware, so the gate is
+// enforced unconditionally.
+type allocsGate struct {
+	name string
+	max  float64
+}
+
+func parseAllocsGate(v string) (allocsGate, error) {
+	parts := strings.Split(v, "|")
+	if len(parts) != 2 {
+		return allocsGate{}, fmt.Errorf("allocs gate %q: want 'NAME|MAX'", v)
+	}
+	max, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || max < 0 {
+		return allocsGate{}, fmt.Errorf("allocs gate %q: bad MAX", v)
+	}
+	return allocsGate{name: parts[0], max: max}, nil
+}
+
+// row evaluates the gate against one run.
+func (g allocsGate) row(res *Result) gateRow {
+	row := gateRow{family: g.name, gate: "allocs"}
+	b, ok := res.Benchmarks[g.name]
+	switch {
+	case !ok:
+		row.status = statusFail
+		row.detail = "benchmark missing from this run"
+	case b.MemRuns == 0:
+		row.status = statusFail
+		row.detail = "no allocs/op recorded (run with -benchmem)"
+	default:
+		row.status = statusOK
+		if b.AllocsPerOp > g.max {
+			row.status = statusFail
+		}
+		row.detail = fmt.Sprintf("%.0f allocs/op (limit %.0f)", b.AllocsPerOp, g.max)
+	}
+	return row
+}
+
 // row evaluates the gate against one run.
 func (g ratioGate) row(res *Result) gateRow {
 	row := gateRow{family: g.num, gate: "ratio"}
@@ -284,6 +346,7 @@ func parse(r io.Reader, note string) (*Result, error) {
 			NsPerOpAll:  runs,
 			BPerOp:      median(bs[name]),
 			AllocsPerOp: median(allocs[name]),
+			MemRuns:     len(allocs[name]),
 		}
 	}
 	return res, nil
@@ -315,11 +378,15 @@ func readResult(path string) (*Result, error) {
 }
 
 // compare produces one summary row per baseline benchmark: within the
-// threshold, regressed past it, or missing from the run. A regression on
-// mismatched hardware downgrades to a warning (absolute medians do not
-// transfer across CPUs); a missing benchmark fails regardless — deleting a
-// family is a gate escape, not a hardware artifact. New benchmarks (in res
-// but not base) pass freely — they gate once they enter the baseline.
+// threshold, regressed past it, or missing from the run. A ns/op
+// regression on mismatched hardware downgrades to a warning (absolute
+// medians do not transfer across CPUs); a missing benchmark fails
+// regardless — deleting a family is a gate escape, not a hardware
+// artifact. New benchmarks (in res but not base) pass freely — they gate
+// once they enter the baseline. Baseline benchmarks that recorded
+// allocation medians additionally gate allocs/op at the same fractional
+// threshold, with no hardware downgrade: allocation counts are a property
+// of the code.
 func compare(base, res *Result, threshold float64, cpuMismatch bool) []gateRow {
 	var names []string
 	for name := range base.Benchmarks {
@@ -351,6 +418,28 @@ func compare(base, res *Result, threshold float64, cpuMismatch bool) []gateRow {
 			}
 		}
 		rows = append(rows, row)
+		// MemRuns marks a baseline that measured allocations (including a
+		// genuine 0 allocs/op); pre-MemRuns baselines only reveal it
+		// through a nonzero median.
+		if ok && (b.MemRuns > 0 || b.AllocsPerOp > 0) && cur.MemRuns > 0 {
+			arow := gateRow{family: name, gate: "allocs", status: statusOK}
+			if b.AllocsPerOp <= 0 {
+				// A zero-alloc baseline admits no ratio: any allocation at
+				// all is the regression.
+				arow.detail = fmt.Sprintf("%.0f allocs/op vs zero-alloc baseline", cur.AllocsPerOp)
+				if cur.AllocsPerOp > 0 {
+					arow.status = statusFail
+				}
+			} else {
+				ratio := cur.AllocsPerOp / b.AllocsPerOp
+				arow.detail = fmt.Sprintf("%.0f allocs/op vs baseline %.0f (%.2fx, limit %.2fx)",
+					cur.AllocsPerOp, b.AllocsPerOp, ratio, 1+threshold)
+				if ratio > 1+threshold {
+					arow.status = statusFail
+				}
+			}
+			rows = append(rows, arow)
+		}
 	}
 	return rows
 }

@@ -14,8 +14,6 @@ import (
 	"math"
 
 	"relm/internal/conf"
-	"relm/internal/gp"
-	"relm/internal/simrand"
 	"relm/internal/tune"
 )
 
@@ -40,6 +38,16 @@ type Options struct {
 	// UsePaperLHS bootstraps with the exact Table 7 samples instead of a
 	// seeded random Latin hypercube.
 	UsePaperLHS bool
+	// RefitEvery throttles the surrogate's hyperparameter grid search to
+	// once per this many incremental observations; between selections a new
+	// sample is absorbed by an O(n²) GP append instead of an O(n³) refit
+	// per grid cell. Default 8; 1 restores the legacy re-selection on every
+	// observation. Ignored when Fit overrides the surrogate.
+	RefitEvery int
+	// RefitDrift re-selects hyperparameters early when the surrogate's
+	// per-point log marginal likelihood has dropped this much since the
+	// last selection (default 0.25; negative disables the drift trigger).
+	RefitDrift float64
 	// Prior warm-starts the surrogate with observations from a previous
 	// session (OtterTune-style model re-use, §6.6). Prior points join every
 	// surrogate fit but cost no experiments and never become the incumbent.
@@ -114,12 +122,6 @@ func Run(ev *tune.Evaluator, opts Options, extra Extra, penalty ...Penalty) Resu
 	return res
 }
 
-// fitDefault is the standard surrogate: a grid-tuned Gaussian Process with
-// grouped length-scales over the base knob dimensions.
-func fitDefault(kernel string, xs [][]float64, ys []float64, baseDims int) (Surrogate, error) {
-	return gp.FitBestGrouped(kernel, xs, ys, baseDims)
-}
-
 func bestObjective(ys []float64) float64 {
 	best := math.Inf(1)
 	for _, y := range ys {
@@ -146,71 +148,6 @@ func ExpectedImprovement(mean, variance, tau float64) float64 {
 
 func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
 func normPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
-
-// maximizeEI runs random search plus coordinate hill-climbing over the
-// normalized space, skipping already-observed configurations.
-func maximizeEI(model Surrogate, sp tune.Space, features func([]float64, conf.Config) []float64,
-	pen Penalty, tau float64, rng *simrand.Rand, seen map[conf.Config]bool) ([]float64, float64) {
-
-	eiAt := func(x []float64) float64 {
-		cfg := sp.Decode(x)
-		mean, variance := model.Predict(features(x, cfg))
-		ei := ExpectedImprovement(mean, variance, tau)
-		if pen != nil {
-			ei *= pen(x, cfg)
-		}
-		return ei
-	}
-
-	var bestX []float64
-	bestEI := -1.0
-	consider := func(x []float64) {
-		cfg := sp.Decode(x)
-		if seen[cfg] {
-			return
-		}
-		if ei := eiAt(x); ei > bestEI {
-			bestEI = ei
-			bestX = append([]float64(nil), x...)
-		}
-	}
-
-	// Random sampling.
-	for i := 0; i < 256; i++ {
-		x := make([]float64, sp.Dim())
-		for d := range x {
-			x[d] = rng.Float64()
-		}
-		consider(x)
-	}
-	if bestX == nil {
-		return nil, 0
-	}
-
-	// Coordinate hill-climb from the incumbent acquisition point.
-	step := 0.25
-	for step > 0.02 {
-		improved := false
-		for d := 0; d < sp.Dim(); d++ {
-			for _, dir := range []float64{-1, 1} {
-				x := append([]float64(nil), bestX...)
-				x[d] = clamp01(x[d] + dir*step)
-				cfg := sp.Decode(x)
-				if seen[cfg] {
-					continue
-				}
-				if ei := eiAt(x); ei > bestEI {
-					bestEI, bestX = ei, x
-					improved = true
-				}
-			}
-		}
-		if !improved {
-			step /= 2
-		}
-	}
-	return bestX, bestEI
-}
 
 func clamp01(v float64) float64 {
 	if v < 0 {

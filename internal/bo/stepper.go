@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"relm/internal/conf"
+	"relm/internal/gp"
 	"relm/internal/simrand"
 	"relm/internal/tune"
 )
@@ -22,7 +23,8 @@ type Tuner struct {
 	extra Extra
 	pen   Penalty
 	rng   *simrand.Rand
-	fit   SurrogateFit
+	fit   SurrogateFit    // custom surrogate override (nil = incremental GP)
+	inc   *gp.Incremental // default surrogate: incremental GP with scheduled re-selection
 
 	queue []conf.Config // bootstrap configurations not yet suggested
 
@@ -35,6 +37,15 @@ type Tuner struct {
 	found bool
 	curve []float64
 	model Surrogate
+
+	// Reusable per-session buffers: the feature matrix rebuilt each round
+	// and the acquisition scratch. Sessions own their Tuner exclusively, so
+	// concurrent sessions never contend on these.
+	featRows [][]float64
+	featYs   []float64
+	featFlat []float64
+	featOffs []int
+	acq      acqScratch
 
 	newSamples      int
 	pending         *conf.Config
@@ -68,10 +79,14 @@ func NewTuner(sp tune.Space, opts Options, extra Extra, penalty Penalty) *Tuner 
 
 	t.fit = opts.Fit
 	if t.fit == nil {
-		kernel := opts.Kernel
-		baseDims := sp.Dim()
-		t.fit = func(xs [][]float64, ys []float64) (Surrogate, error) {
-			return fitDefault(kernel, xs, ys, baseDims)
+		// Default surrogate: a grid-tuned GP absorbing new observations
+		// through O(n²) appends, with the hyperparameter grid search
+		// throttled to the RefitEvery/RefitDrift schedule.
+		t.inc = &gp.Incremental{
+			Kind:       opts.Kernel,
+			BaseDims:   sp.Dim(),
+			RefitEvery: opts.RefitEvery,
+			LMLDrift:   opts.RefitDrift,
 		}
 	}
 
@@ -119,12 +134,55 @@ func (t *Tuner) WarmStart(points []PriorPoint) {
 	}
 }
 
-// features appends the Extra hook's outputs to the normalized knobs.
-func (t *Tuner) features(x []float64, cfg conf.Config) []float64 {
+// buildFeatures assembles the surrogate's (features, targets) matrix —
+// prior observations first, then measured samples — into buffers reused
+// across rounds. Without an Extra hook the normalized knob vectors are
+// their own feature rows; with one, combined rows are packed into a flat
+// buffer and row views are built only after it stops growing.
+func (t *Tuner) buildFeatures() ([][]float64, []float64) {
+	rows := t.featRows[:0]
+	ys := t.featYs[:0]
 	if t.extra == nil {
-		return x
+		for i := range t.opts.Prior {
+			rows = append(rows, t.opts.Prior[i].X)
+			ys = append(ys, t.opts.Prior[i].Y)
+		}
+		rows = append(rows, t.rawXs...)
+		ys = append(ys, t.ys...)
+	} else {
+		flat := t.featFlat[:0]
+		offs := t.featOffs[:0]
+		add := func(x []float64, cfg conf.Config, y float64) {
+			offs = append(offs, len(flat))
+			flat = append(flat, x...)
+			flat = append(flat, t.extra(x, cfg)...)
+			ys = append(ys, y)
+		}
+		for _, p := range t.opts.Prior {
+			add(p.X, p.Cfg, p.Y)
+		}
+		for i := range t.rawXs {
+			add(t.rawXs[i], t.cfgs[i], t.ys[i])
+		}
+		offs = append(offs, len(flat))
+		for i := 0; i+1 < len(offs); i++ {
+			rows = append(rows, flat[offs[i]:offs[i+1]])
+		}
+		t.featFlat, t.featOffs = flat, offs
 	}
-	return append(append([]float64(nil), x...), t.extra(x, cfg)...)
+	t.featRows, t.featYs = rows, ys
+	return rows, ys
+}
+
+// SurrogateStats reports the default surrogate's cumulative hyperparameter
+// grid selections and incremental appends — the observability hook for
+// tests and service metrics. Both are zero when Options.Fit overrides the
+// surrogate.
+func (t *Tuner) SurrogateStats() (fits, appends int) {
+	if t.inc == nil {
+		return 0, 0
+	}
+	return t.inc.Stats()
 }
 
 // advance computes the next suggestion or fires the stopping rule. It is
@@ -147,18 +205,17 @@ func (t *Tuner) advance() {
 	}
 
 	// Feature vectors are rebuilt each round so an Extra that matured
-	// after the first profile applies to the bootstrap samples too.
-	feats := make([][]float64, 0, len(t.opts.Prior)+len(t.rawXs))
-	fitYs := make([]float64, 0, len(t.opts.Prior)+len(t.ys))
-	for _, p := range t.opts.Prior {
-		feats = append(feats, t.features(p.X, p.Cfg))
-		fitYs = append(fitYs, p.Y)
+	// after the first profile applies to the bootstrap samples too. The
+	// incremental surrogate reconciles: it appends only the new tail when
+	// the prefix is unchanged and refits when features shifted under it.
+	feats, fitYs := t.buildFeatures()
+	var model Surrogate
+	var err error
+	if t.inc != nil {
+		model, err = t.inc.SetData(feats, fitYs)
+	} else {
+		model, err = t.fit(feats, fitYs)
 	}
-	for i := range t.rawXs {
-		feats = append(feats, t.features(t.rawXs[i], t.cfgs[i]))
-		fitYs = append(fitYs, t.ys[i])
-	}
-	model, err := t.fit(feats, fitYs)
 	if err != nil {
 		t.done = true
 		return
@@ -174,7 +231,7 @@ func (t *Tuner) advance() {
 			tau = p.Y
 		}
 	}
-	x, ei := maximizeEI(model, t.sp, t.features, t.pen, tau, t.rng, t.seen)
+	x, ei := t.maximizeEI(model, tau)
 	if x == nil {
 		t.done = true
 		return

@@ -154,3 +154,57 @@ func TestWarmStartSeedsStepper(t *testing.T) {
 		t.Fatalf("warm best %.1f much worse than cold best %.1f", warmBest.Objective, coldBest.Objective)
 	}
 }
+
+// TestIncrementalSurrogateSchedule: on the default path the surrogate
+// absorbs most observations through O(n²) appends, re-selecting
+// hyperparameters only on the RefitEvery schedule — while RefitEvery=1
+// restores a grid selection on every observation (and therefore records no
+// net savings).
+func TestIncrementalSurrogateSchedule(t *testing.T) {
+	cl := cluster.A()
+	wl, _ := workload.ByName("SVM")
+
+	drive := func(opts Options, steps int) (fits, appends int) {
+		ev := tune.NewEvaluator(cl, wl, 3)
+		tn := NewTuner(ev.Space, opts, nil, nil)
+		for i := 0; i < steps && !tn.Done(); i++ {
+			tn.Observe(ev.Eval(tn.Suggest()))
+		}
+		return tn.SurrogateStats()
+	}
+
+	fits, appends := drive(Options{Seed: 7, MaxIterations: 30, MinNewSamples: 30, EIFraction: -1}, 24)
+	if appends == 0 {
+		t.Fatal("scheduled path recorded no incremental appends")
+	}
+	if fits >= appends {
+		t.Fatalf("scheduled path: %d full fits vs %d appends — appends should dominate", fits, appends)
+	}
+
+	fits1, appends1 := drive(Options{Seed: 7, MaxIterations: 30, MinNewSamples: 30, EIFraction: -1, RefitEvery: 1}, 24)
+	if appends1 != 0 {
+		t.Fatalf("RefitEvery=1 must re-select every observation, got %d appends (%d fits)", appends1, fits1)
+	}
+	if fits1 == 0 {
+		t.Fatal("RefitEvery=1 recorded no fits")
+	}
+}
+
+// A custom surrogate override (e.g. the Random-Forest ablation) bypasses
+// the incremental path entirely and must report zero surrogate stats.
+func TestCustomFitBypassesIncrementalPath(t *testing.T) {
+	cl := cluster.A()
+	wl, _ := workload.ByName("K-means")
+	ev := tune.NewEvaluator(cl, wl, 4)
+	opts := Options{Seed: 9, MaxIterations: 2, MinNewSamples: 1,
+		Fit: func(xs [][]float64, ys []float64) (Surrogate, error) {
+			return constSurrogate{mean: 100}, nil
+		}}
+	tn := NewTuner(ev.Space, opts, nil, nil)
+	for !tn.Done() {
+		tn.Observe(ev.Eval(tn.Suggest()))
+	}
+	if fits, appends := tn.SurrogateStats(); fits != 0 || appends != 0 {
+		t.Fatalf("custom Fit leaked incremental stats: fits=%d appends=%d", fits, appends)
+	}
+}

@@ -67,5 +67,11 @@ func (t *Tuner) Done() bool { return t.inner.Done() }
 // Model returns the guide model Q, or nil before any profiled observation.
 func (t *Tuner) Model() *Model { return t.model }
 
+// SurrogateStats reports the inner surrogate's cumulative hyperparameter
+// grid selections and incremental appends. Guided BO exercises the
+// reconciling path: when Q matures it rewrites every feature row, which
+// the incremental surrogate answers with one full re-selection.
+func (t *Tuner) SurrogateStats() (fits, appends int) { return t.inner.SurrogateStats() }
+
 // Result assembles the batch-style report from the steps taken so far.
 func (t *Tuner) Result() bo.Result { return t.inner.Result() }

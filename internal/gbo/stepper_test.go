@@ -58,3 +58,42 @@ func TestStepperRuntimeOnlyObservations(t *testing.T) {
 		t.Fatal("no best")
 	}
 }
+
+// TestGuideMaturationForcesSurrogateReselection: while observations are
+// runtime-only, surrogate fits see zero guide features; the first profiled
+// sample builds Q and rewrites every feature row retroactively, which the
+// incremental surrogate must answer with a full hyperparameter
+// re-selection (not a bogus append onto a stale factor).
+func TestGuideMaturationForcesSurrogateReselection(t *testing.T) {
+	cl := cluster.A()
+	wl, _ := workload.ByName("K-means")
+	ev := tune.NewEvaluator(cl, wl, 7)
+	st := NewTuner(cl, ev.Space, bo.Options{Seed: 7, MaxIterations: 20, MinNewSamples: 20, EIFraction: -1})
+
+	// Runtime-only observations past the bootstrap: fits happen with the
+	// placeholder guide features.
+	for i := 0; i < 7 && !st.Done(); i++ {
+		cfg := st.Suggest()
+		smp := ev.Eval(cfg)
+		smp.Profile, smp.Stats = nil, nil // strip the profile
+		st.Observe(smp)
+	}
+	if st.Model() != nil {
+		t.Fatal("guide model built without statistics")
+	}
+	fitsBefore, appendsBefore := st.SurrogateStats()
+	if fitsBefore == 0 || appendsBefore == 0 {
+		t.Fatalf("degraded phase: fits=%d appends=%d — want both nonzero", fitsBefore, appendsBefore)
+	}
+
+	// The first profiled observation matures Q.
+	cfg := st.Suggest()
+	st.Observe(ev.Eval(cfg))
+	if st.Model() == nil {
+		t.Fatal("guide model not built from profiled sample")
+	}
+	fitsAfter, _ := st.SurrogateStats()
+	if fitsAfter <= fitsBefore {
+		t.Fatalf("guide maturation must force a full re-selection: fits %d -> %d", fitsBefore, fitsAfter)
+	}
+}

@@ -3,6 +3,17 @@
 // Matérn-5/2), exact inference via Cholesky factorization, posterior mean and
 // variance, and a small marginal-likelihood grid search for the kernel
 // hyperparameters.
+//
+// The regressor supports two training paths. Fit is the batch path: it
+// rebuilds the Gram matrix and runs a fresh O(n³) factorization. Append is
+// the incremental path: conditioning on one new observation extends the
+// cached Cholesky factor by a bordered row in O(n²), producing bit-for-bit
+// the factor a batch refit would (falling back to a jittered batch refit
+// when the bordered pivot is not numerically positive). Prediction has
+// allocation-free variants (PredictInto, PredictBatch) that write into a
+// caller-owned Scratch, and Incremental schedules hyperparameter
+// re-selection so streaming observations pay the grid search only every few
+// appends instead of on every one.
 package gp
 
 import (
@@ -29,18 +40,14 @@ type RBF struct {
 func (k RBF) Eval(a, b []float64) float64 {
 	var s float64
 	for d := range a {
-		l := k.length(d)
+		l := 1.0
+		if d < len(k.Length) && k.Length[d] > 0 {
+			l = k.Length[d]
+		}
 		diff := (a[d] - b[d]) / l
 		s += diff * diff
 	}
 	return k.Variance * math.Exp(-0.5*s)
-}
-
-func (k RBF) length(d int) float64 {
-	if d < len(k.Length) && k.Length[d] > 0 {
-		return k.Length[d]
-	}
-	return 1
 }
 
 // Matern52 is the Matérn kernel with ν = 5/2, a standard choice for
@@ -66,17 +73,92 @@ func (k Matern52) Eval(a, b []float64) float64 {
 	return k.Variance * (1 + c + 5.0/3.0*s) * math.Exp(-c)
 }
 
+// preparedRBF is RBF with the length-scale normalization hoisted out of the
+// inner loop: inverse length scales are materialized per dimension at
+// construction, so Eval does one fused multiply per dimension with no
+// branching. Built by prepareKernel once the input dimension is known.
+type preparedRBF struct {
+	variance float64
+	inv      []float64
+}
+
+func (k preparedRBF) Eval(a, b []float64) float64 {
+	var s float64
+	inv := k.inv
+	for d, ad := range a {
+		diff := (ad - b[d]) * inv[d]
+		s += diff * diff
+	}
+	return k.variance * math.Exp(-0.5*s)
+}
+
+// preparedMatern52 is Matern52 with hoisted inverse length scales.
+type preparedMatern52 struct {
+	variance float64
+	inv      []float64
+}
+
+func (k preparedMatern52) Eval(a, b []float64) float64 {
+	var s float64
+	inv := k.inv
+	for d, ad := range a {
+		diff := (ad - b[d]) * inv[d]
+		s += diff * diff
+	}
+	r := math.Sqrt(s)
+	c := math.Sqrt(5) * r
+	return k.variance * (1 + c + 5.0/3.0*s) * math.Exp(-c)
+}
+
+// invLengths expands a (possibly short or zero-filled) length-scale slice
+// into dense per-dimension inverse scales, applying the same "missing or
+// non-positive means 1" convention as the public kernels.
+func invLengths(length []float64, dim int) []float64 {
+	inv := make([]float64, dim)
+	for d := range inv {
+		if d < len(length) && length[d] > 0 {
+			inv[d] = 1 / length[d]
+		} else {
+			inv[d] = 1
+		}
+	}
+	return inv
+}
+
+// prepareKernel specializes a kernel to a known input dimension, hoisting
+// per-call normalization work into construction. Unknown kernel types pass
+// through unchanged.
+//
+// Note the prepared forms multiply by precomputed reciprocals where the
+// public Eval divides; the results can differ in the last ULP, which is far
+// inside every tolerance this package guarantees.
+func prepareKernel(k Kernel, dim int) Kernel {
+	switch kk := k.(type) {
+	case RBF:
+		return preparedRBF{variance: kk.Variance, inv: invLengths(kk.Length, dim)}
+	case Matern52:
+		return preparedMatern52{variance: kk.Variance, inv: invLengths(kk.Length, dim)}
+	}
+	return k
+}
+
 // GP is a Gaussian Process regressor. Targets are standardized internally so
-// kernel variances stay O(1).
+// kernel variances stay O(1). The kernel (and its prepared form) is captured
+// at Fit/Append time; mutating the Kernel field after fitting has no effect
+// until the next batch Fit.
 type GP struct {
 	Kernel Kernel
 	Noise  float64 // observation noise σ² (on standardized targets)
 
+	eval  Kernel // dimension-specialized kernel, set by Fit
 	xs    [][]float64
+	ys    []float64 // raw targets, kept for incremental re-standardization
+	yn    []float64 // standardized targets, kept for the O(n) marginal likelihood
 	alpha []float64
 	chol  *linalg.Matrix
 	meanY float64
 	stdY  float64
+	kbuf  []float64 // scratch kernel column for Append
 }
 
 // New returns an unfitted GP.
@@ -96,38 +178,18 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 		return ErrNoData
 	}
 	n := len(xs)
-	g.xs = make([][]float64, n)
+	cx := make([][]float64, n)
 	for i, x := range xs {
-		g.xs[i] = append([]float64(nil), x...)
+		cx[i] = append([]float64(nil), x...)
 	}
-
-	// Standardize targets.
-	var mean float64
-	for _, y := range ys {
-		mean += y
-	}
-	mean /= float64(n)
-	var varY float64
-	for _, y := range ys {
-		d := y - mean
-		varY += d * d
-	}
-	varY /= float64(n)
-	std := math.Sqrt(varY)
-	if std < 1e-12 {
-		std = 1
-	}
-	g.meanY, g.stdY = mean, std
-	yn := make([]float64, n)
-	for i, y := range ys {
-		yn[i] = (y - mean) / std
-	}
+	cy := append([]float64(nil), ys...)
+	eval := prepareKernel(g.Kernel, len(cx[0]))
 
 	// Gram matrix + noise.
 	gram := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := g.Kernel.Eval(g.xs[i], g.xs[j])
+			v := eval.Eval(cx[i], cx[j])
 			gram.Set(i, j, v)
 			gram.Set(j, i, v)
 		}
@@ -137,27 +199,116 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 	if err != nil {
 		return err
 	}
-	g.chol = l
-	g.alpha = linalg.CholSolve(l, yn)
+	g.xs, g.ys, g.eval, g.chol = cx, cy, eval, l
+	g.restandardize()
 	return nil
+}
+
+// Append conditions the fitted process on one additional observation in
+// O(n²): the cached Cholesky factor grows by a bordered row (bit-matching
+// what a batch refit would compute), targets are re-standardized, and the
+// dual weights re-solved against the extended factor. If the bordered pivot
+// is not numerically positive — the incremental path's equivalent of
+// needing jitter — it falls back to a full batch Fit. Appending to an
+// unfitted GP is a batch Fit of one point.
+func (g *GP) Append(x []float64, y float64) error {
+	if g.chol == nil {
+		return g.Fit([][]float64{x}, []float64{y})
+	}
+	n := len(g.xs)
+	xc := append([]float64(nil), x...)
+	if cap(g.kbuf) < n {
+		g.kbuf = make([]float64, n, n+n/2+8)
+	}
+	k := g.kbuf[:n]
+	for i, xi := range g.xs {
+		k[i] = g.eval.Eval(xc, xi)
+	}
+	d := g.eval.Eval(xc, xc) + g.Noise
+	chol, err := linalg.CholAppendRow(g.chol, k, d)
+	if err != nil {
+		return g.Fit(append(g.xs, xc), append(g.ys, y))
+	}
+	g.chol = chol
+	g.xs = append(g.xs, xc)
+	g.ys = append(g.ys, y)
+	g.restandardize()
+	return nil
+}
+
+// restandardize recomputes the target standardization and dual weights from
+// the raw targets and the current factor, in O(n²) and without allocating
+// once the buffers have grown to size.
+func (g *GP) restandardize() {
+	n := len(g.ys)
+	var mean float64
+	for _, y := range g.ys {
+		mean += y
+	}
+	mean /= float64(n)
+	var varY float64
+	for _, y := range g.ys {
+		d := y - mean
+		varY += d * d
+	}
+	varY /= float64(n)
+	std := math.Sqrt(varY)
+	if std < 1e-12 {
+		std = 1
+	}
+	g.meanY, g.stdY = mean, std
+	g.yn = growVec(g.yn, n)
+	for i, y := range g.ys {
+		g.yn[i] = (y - mean) / std
+	}
+	g.alpha = growVec(g.alpha, n)
+	linalg.CholSolveInto(g.chol, g.yn, g.alpha)
+}
+
+// growVec returns s resized to n, reallocating (with headroom) only when
+// the capacity is exhausted.
+func growVec(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n, n+n/2+8)
 }
 
 // N returns the number of training points.
 func (g *GP) N() int { return len(g.xs) }
 
+// Scratch holds the reusable buffers of the allocation-free prediction
+// path. A zero Scratch is ready to use; it grows to the size of the largest
+// GP it has served. A Scratch may be reused across models but must not be
+// shared by concurrent goroutines (the GP itself is safe for concurrent
+// PredictInto calls with distinct scratches).
+type Scratch struct {
+	k []float64
+	v []float64
+}
+
 // Predict returns the posterior mean and variance at x (Equation 6).
 func (g *GP) Predict(x []float64) (mean, variance float64) {
+	var s Scratch
+	return g.PredictInto(x, &s)
+}
+
+// PredictInto is Predict writing through caller-owned scratch, performing
+// no allocation in steady state.
+func (g *GP) PredictInto(x []float64, s *Scratch) (mean, variance float64) {
 	if g.chol == nil {
 		return g.meanY, 1
 	}
 	n := len(g.xs)
-	k := make([]float64, n)
-	for i := range g.xs {
-		k[i] = g.Kernel.Eval(x, g.xs[i])
+	s.k = growVec(s.k, n)
+	s.v = growVec(s.v, n)
+	k := s.k
+	for i, xi := range g.xs {
+		k[i] = g.eval.Eval(x, xi)
 	}
 	mu := linalg.Dot(k, g.alpha)
-	v := linalg.SolveLower(g.chol, k)
-	variance = g.Kernel.Eval(x, x) - linalg.Dot(v, v)
+	v := linalg.SolveLowerInto(g.chol, k, s.v)
+	variance = g.eval.Eval(x, x) - linalg.Dot(v, v)
 	if variance < 1e-12 {
 		variance = 1e-12
 	}
@@ -167,26 +318,28 @@ func (g *GP) Predict(x []float64) (mean, variance float64) {
 	return mean, variance
 }
 
+// PredictBatch scores a batch of candidate points, writing the posterior
+// means and variances into means and vars (which must be at least
+// len(xs) long). It allocates nothing in steady state.
+func (g *GP) PredictBatch(xs [][]float64, means, vars []float64, s *Scratch) {
+	if len(means) < len(xs) || len(vars) < len(xs) {
+		panic("gp: PredictBatch output length mismatch")
+	}
+	for i, x := range xs {
+		means[i], vars[i] = g.PredictInto(x, s)
+	}
+}
+
 // LogMarginalLikelihood returns log p(y|X) of the fitted model (up to the
-// constant term), used for hyperparameter selection.
+// constant term), used for hyperparameter selection. It reads the
+// standardized targets stored at fit time, so it costs O(n) — no kernel
+// re-evaluation.
 func (g *GP) LogMarginalLikelihood() float64 {
 	if g.chol == nil {
 		return math.Inf(-1)
 	}
-	n := len(g.xs)
-	yn := make([]float64, n)
-	// Recover standardized targets from alpha: y = K·alpha. Cheaper: use
-	// 0.5·yᵀα with y reconstructed; store during Fit instead.
-	for i := range yn {
-		var s float64
-		for j := range g.xs {
-			s += g.Kernel.Eval(g.xs[i], g.xs[j]) * g.alpha[j]
-		}
-		// Add the noise term contribution.
-		s += g.Noise * g.alpha[i]
-		yn[i] = s
-	}
-	fit := -0.5 * linalg.Dot(yn, g.alpha)
+	n := len(g.yn)
+	fit := -0.5 * linalg.Dot(g.yn, g.alpha)
 	det := -0.5 * linalg.LogDetFromChol(g.chol)
 	return fit + det - 0.5*float64(n)*math.Log(2*math.Pi)
 }

@@ -1,0 +1,120 @@
+package gp
+
+// Incremental maintains a grid-tuned GP over a growing observation set,
+// absorbing new points through O(n²) Append and throttling the O(n³)
+// hyperparameter grid search (FitBestGrouped) to a schedule: every
+// RefitEvery appends, or earlier when the per-point log marginal likelihood
+// drifts down by more than LMLDrift — the signal that the length scales
+// selected a few observations ago no longer explain the data.
+//
+// SetData is reconciling rather than purely appending: callers hand it the
+// full (features, targets) matrix each round, and it appends only the new
+// tail when the prefix is unchanged. When the prefix did change — feature
+// vectors are rebuilt retroactively when a guide model matures, or a prior
+// is swapped in by a warm start — it falls back to a full re-selection, so
+// the incremental path is never wrong, only sometimes slower.
+type Incremental struct {
+	// Kind selects the kernel family ("rbf" or "matern52").
+	Kind string
+	// BaseDims is the grouped-length-scale split passed to FitBestGrouped.
+	BaseDims int
+	// RefitEvery re-selects hyperparameters after this many appends
+	// (default 8; 1 restores the legacy refit-per-observation behavior).
+	RefitEvery int
+	// LMLDrift re-selects early when the per-point log marginal likelihood
+	// has dropped this much since the last selection (default 0.25; ≤0
+	// disables the drift trigger).
+	LMLDrift float64
+
+	gp      *GP
+	appends int
+	selLML  float64 // per-point LML right after the last selection
+
+	fits         int // cumulative full grid selections
+	appendsTotal int // cumulative incremental appends
+}
+
+func (inc *Incremental) fill() {
+	if inc.RefitEvery == 0 {
+		inc.RefitEvery = 8
+	}
+	if inc.LMLDrift == 0 {
+		inc.LMLDrift = 0.25
+	}
+}
+
+// SetData reconciles the model with the full observation matrix and returns
+// it. xs rows are copied when retained, so callers may reuse their buffers.
+func (inc *Incremental) SetData(xs [][]float64, ys []float64) (*GP, error) {
+	inc.fill()
+	if inc.gp == nil || !inc.prefixUnchanged(xs, ys) {
+		return inc.refit(xs, ys)
+	}
+	g := inc.gp
+	// When absorbing the new tail would land on the schedule anyway, skip
+	// straight to the grid selection instead of appending work it would
+	// discard (RefitEvery=1 therefore never appends).
+	if inc.appends+(len(xs)-len(g.xs)) >= inc.RefitEvery {
+		return inc.refit(xs, ys)
+	}
+	for i := len(g.xs); i < len(xs); i++ {
+		if err := g.Append(xs[i], ys[i]); err != nil {
+			return inc.refit(xs, ys)
+		}
+		inc.appends++
+		inc.appendsTotal++
+	}
+	if inc.LMLDrift > 0 && g.N() > 0 {
+		if inc.selLML-g.LogMarginalLikelihood()/float64(g.N()) > inc.LMLDrift {
+			return inc.refit(xs, ys)
+		}
+	}
+	return g, nil
+}
+
+// Model returns the current GP (nil before the first successful SetData).
+func (inc *Incremental) Model() *GP { return inc.gp }
+
+// Stats reports cumulative full grid selections and incremental appends —
+// the observability hook for tests and metrics.
+func (inc *Incremental) Stats() (fits, appends int) {
+	return inc.fits, inc.appendsTotal
+}
+
+// prefixUnchanged reports whether the model's conditioned data is exactly
+// the leading rows of (xs, ys). Exact float equality is the right test:
+// unchanged feature pipelines reproduce identical bits, and any retroactive
+// change — however small — invalidates the cached factor.
+func (inc *Incremental) prefixUnchanged(xs [][]float64, ys []float64) bool {
+	g := inc.gp
+	if len(xs) < len(g.xs) || len(ys) != len(xs) {
+		return false
+	}
+	for i, have := range g.xs {
+		if g.ys[i] != ys[i] {
+			return false
+		}
+		row := xs[i]
+		if len(row) != len(have) {
+			return false
+		}
+		for d := range have {
+			if have[d] != row[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (inc *Incremental) refit(xs [][]float64, ys []float64) (*GP, error) {
+	g, err := FitBestGrouped(inc.Kind, xs, ys, inc.BaseDims)
+	if err != nil {
+		return nil, err
+	}
+	inc.gp = g
+	inc.appends = 0
+	inc.fits++
+	inc.selLML = g.LogMarginalLikelihood() / float64(len(xs))
+	return g, nil
+}

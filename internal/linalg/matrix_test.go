@@ -248,3 +248,161 @@ func TestDimensionPanics(t *testing.T) {
 		}()
 	}
 }
+
+// Property: growing a Cholesky factor one bordered row at a time bit-matches
+// the batch factorization of the full matrix — CholAppendRow computes the
+// exact arithmetic a fresh Cholesky would for that row.
+func TestCholAppendRowMatchesBatch(t *testing.T) {
+	rng := simrand.New(7)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		full, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		start := 1 + rng.Intn(n-1)
+		// Factor of the leading start×start block.
+		sub := NewMatrix(start, start)
+		for i := 0; i < start; i++ {
+			copy(sub.Row(i), a.Row(i)[:start])
+		}
+		l, err := Cholesky(sub)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for m := start; m < n; m++ {
+			k := make([]float64, m)
+			copy(k, a.Row(m)[:m])
+			l, err = CholAppendRow(l, k, a.At(m, m))
+			if err != nil {
+				t.Fatalf("trial %d: append row %d: %v", trial, m, err)
+			}
+		}
+		if l.Rows != n || l.Cols != n {
+			t.Fatalf("trial %d: grew to %dx%d, want %dx%d", trial, l.Rows, l.Cols, n, n)
+		}
+		for i := range full.Data {
+			if l.Data[i] != full.Data[i] {
+				t.Fatalf("trial %d: factor diverges from batch at %d: %v vs %v",
+					trial, i, l.Data[i], full.Data[i])
+			}
+		}
+	}
+}
+
+// CholAppendRow must reject a bordered row that makes the matrix indefinite,
+// leaving the original factor usable.
+func TestCholAppendRowRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 4}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d - kᵀA⁻¹k = 1 - (4+4)/4·... pick k large enough that the Schur
+	// complement is negative: k=(4,4), d=1 → 1 - (4+4) < 0.
+	if _, err := CholAppendRow(l, []float64{4, 4}, 1); err != ErrNotPSD {
+		t.Fatalf("want ErrNotPSD, got %v", err)
+	}
+	if l.Rows != 2 || l.Cols != 2 || l.At(0, 0) != 2 || l.At(1, 1) != 2 {
+		t.Fatal("failed append must leave the factor intact")
+	}
+	// The intact factor still accepts a legal append.
+	l2, err := CholAppendRow(l, []float64{0, 0}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.At(2, 2) != 3 {
+		t.Fatalf("diag = %v, want 3", l2.At(2, 2))
+	}
+	if l2.At(0, 2) != 0 || l2.At(1, 2) != 0 {
+		t.Fatal("upper triangle of grown factor must be zero")
+	}
+}
+
+// After a growth reallocation, subsequent appends must reuse the spare
+// capacity in place (no per-append allocation until capacity runs out).
+func TestCholAppendRowReusesCapacity(t *testing.T) {
+	rng := simrand.New(21)
+	n := 12
+	a := randomSPD(rng, n)
+	sub := NewMatrix(1, 1)
+	sub.Set(0, 0, a.At(0, 0))
+	l, err := Cholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPlace := 0
+	for m := 1; m < n; m++ {
+		prev := l
+		k := make([]float64, m)
+		copy(k, a.Row(m)[:m])
+		l, err = CholAppendRow(l, k, a.At(m, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == prev {
+			inPlace++
+		}
+	}
+	if inPlace == 0 {
+		t.Fatal("no append reused the factor's backing array in place")
+	}
+}
+
+func TestSolveIntoVariantsAliasSafe(t *testing.T) {
+	rng := simrand.New(33)
+	a := randomSPD(rng, 6)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.Norm(0, 1)
+	}
+	wantLower := SolveLower(l, b)
+	wantUpper := SolveUpperT(l, b)
+	wantChol := CholSolve(l, b)
+
+	in := append([]float64(nil), b...)
+	if got := SolveLowerInto(l, in, in); !equalVec(got, wantLower) {
+		t.Fatal("in-place SolveLowerInto mismatch")
+	}
+	in = append([]float64(nil), b...)
+	if got := SolveUpperTInto(l, in, in); !equalVec(got, wantUpper) {
+		t.Fatal("in-place SolveUpperTInto mismatch")
+	}
+	in = append([]float64(nil), b...)
+	if got := CholSolveInto(l, in, in); !equalVec(got, wantChol) {
+		t.Fatal("in-place CholSolveInto mismatch")
+	}
+	dst := make([]float64, 6)
+	if got := CholSolveInto(l, b, dst); !equalVec(got, wantChol) {
+		t.Fatal("out-of-place CholSolveInto mismatch")
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	v := []float64{1, -1}
+	dst := make([]float64, 3)
+	if got := m.MulVecInto(v, dst); !equalVec(got, []float64{-1, -1, -1}) {
+		t.Fatalf("MulVecInto = %v", got)
+	}
+	if !equalVec(dst, m.MulVec(v)) {
+		t.Fatal("MulVecInto disagrees with MulVec")
+	}
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -125,28 +125,30 @@ type HistoryJSON struct {
 
 // MetricsResponse is the body of GET /v1/metrics.
 type MetricsResponse struct {
-	Node            string         `json:"node,omitempty"`
-	Draining        bool           `json:"draining,omitempty"`
-	Sessions        int            `json:"sessions"`
-	SessionsByState map[string]int `json:"sessions_by_state"`
-	Observations    int64          `json:"observations"`
-	Evictions       int64          `json:"evictions"`
-	WarmStarts      int64          `json:"warm_starts"`
-	RepoEntries     int            `json:"repo_entries"`
-	RepoCapacity    int            `json:"repo_capacity,omitempty"`
-	RepoHits        int64          `json:"repo_hits,omitempty"`
-	RepoEvictions   int64          `json:"repo_evictions,omitempty"`
-	Persistence     bool           `json:"persistence"`
-	WALBytes        int64          `json:"wal_bytes,omitempty"`
-	WALEvents       uint64         `json:"wal_events,omitempty"`
-	WALSegments     int            `json:"wal_segments,omitempty"`
-	PrunedSegments  uint64         `json:"pruned_segments,omitempty"`
-	CommitBatches   uint64         `json:"commit_batches,omitempty"`
-	BatchedEvents   uint64         `json:"batched_events,omitempty"`
-	Snapshots       uint64         `json:"snapshots,omitempty"`
-	SnapshotBytes   int64          `json:"snapshot_bytes,omitempty"`
-	LastCompaction  *time.Time     `json:"last_compaction,omitempty"`
-	JournalError    string         `json:"journal_error,omitempty"`
+	Node             string         `json:"node,omitempty"`
+	Draining         bool           `json:"draining,omitempty"`
+	Sessions         int            `json:"sessions"`
+	SessionsByState  map[string]int `json:"sessions_by_state"`
+	Observations     int64          `json:"observations"`
+	Evictions        int64          `json:"evictions"`
+	WarmStarts       int64          `json:"warm_starts"`
+	SurrogateFits    int64          `json:"surrogate_fits,omitempty"`
+	SurrogateAppends int64          `json:"surrogate_appends,omitempty"`
+	RepoEntries      int            `json:"repo_entries"`
+	RepoCapacity     int            `json:"repo_capacity,omitempty"`
+	RepoHits         int64          `json:"repo_hits,omitempty"`
+	RepoEvictions    int64          `json:"repo_evictions,omitempty"`
+	Persistence      bool           `json:"persistence"`
+	WALBytes         int64          `json:"wal_bytes,omitempty"`
+	WALEvents        uint64         `json:"wal_events,omitempty"`
+	WALSegments      int            `json:"wal_segments,omitempty"`
+	PrunedSegments   uint64         `json:"pruned_segments,omitempty"`
+	CommitBatches    uint64         `json:"commit_batches,omitempty"`
+	BatchedEvents    uint64         `json:"batched_events,omitempty"`
+	Snapshots        uint64         `json:"snapshots,omitempty"`
+	SnapshotBytes    int64          `json:"snapshot_bytes,omitempty"`
+	LastCompaction   *time.Time     `json:"last_compaction,omitempty"`
+	JournalError     string         `json:"journal_error,omitempty"`
 }
 
 // DrainSessionJSON is one drained session on the wire: the state it held,
@@ -369,19 +371,21 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		mt := m.Metrics()
 		resp := MetricsResponse{
-			Node:            mt.Node,
-			Draining:        mt.Draining,
-			Sessions:        mt.Sessions,
-			SessionsByState: mt.SessionsByState,
-			Observations:    mt.Observations,
-			Evictions:       mt.Evictions,
-			WarmStarts:      mt.WarmStarts,
-			RepoEntries:     mt.RepoEntries,
-			RepoCapacity:    mt.RepoCapacity,
-			RepoHits:        mt.RepoHits,
-			RepoEvictions:   mt.RepoEvictions,
-			Persistence:     mt.Persistence,
-			JournalError:    mt.JournalError,
+			Node:             mt.Node,
+			Draining:         mt.Draining,
+			Sessions:         mt.Sessions,
+			SessionsByState:  mt.SessionsByState,
+			Observations:     mt.Observations,
+			Evictions:        mt.Evictions,
+			WarmStarts:       mt.WarmStarts,
+			SurrogateFits:    mt.SurrogateFits,
+			SurrogateAppends: mt.SurrogateAppends,
+			RepoEntries:      mt.RepoEntries,
+			RepoCapacity:     mt.RepoCapacity,
+			RepoHits:         mt.RepoHits,
+			RepoEvictions:    mt.RepoEvictions,
+			Persistence:      mt.Persistence,
+			JournalError:     mt.JournalError,
 		}
 		if mt.Persistence {
 			resp.WALBytes = mt.Store.WALBytes

@@ -281,6 +281,13 @@ type Session struct {
 	suggested bool        // a suggestion is outstanding (armed, unconsumed)
 }
 
+// surrogateStatser is implemented by the bo/gbo tuners: cumulative full
+// hyperparameter selections vs incremental appends of the session's
+// surrogate, surfaced through Metrics.
+type surrogateStatser interface {
+	SurrogateStats() (fits, appends int)
+}
+
 // shard is one lock stripe of the session map. closed maps tombstoned
 // session IDs to the sequence number of their journaled close event (or
 // tombstoneKept while the event is in flight / absent); compaction prunes
@@ -1062,6 +1069,12 @@ type Metrics struct {
 	Observations int64
 	Evictions    int64
 	WarmStarts   int64
+	// SurrogateFits / SurrogateAppends aggregate the live sessions'
+	// surrogate work: full hyperparameter grid selections (O(n³) per grid
+	// cell) vs incremental O(n²) appends. A healthy steady state appends
+	// far more than it fits.
+	SurrogateFits    int64
+	SurrogateAppends int64
 	// RepoEntries is the size of the shared model repository; RepoCapacity
 	// is its eviction bound (<= 0 unbounded). RepoHits counts warm-start
 	// matches served; RepoEvictions counts entries evicted past capacity
@@ -1101,6 +1114,11 @@ func (m *Manager) Metrics() Metrics {
 		for _, s := range sessions {
 			s.mu.Lock()
 			state := s.state
+			if ss, ok := s.tuner.(surrogateStatser); ok {
+				fits, appends := ss.SurrogateStats()
+				mt.SurrogateFits += int64(fits)
+				mt.SurrogateAppends += int64(appends)
+			}
 			s.mu.Unlock()
 			mt.Sessions++
 			mt.SessionsByState[state]++

@@ -350,3 +350,60 @@ func TestSessionLimit(t *testing.T) {
 		t.Fatalf("third create: %v, want ErrTooMany", err)
 	}
 }
+
+// TestConcurrentSessionsSurrogateScratch hammers many sessions from
+// concurrent goroutines through the incremental surrogate hot path — each
+// session's tuner owns its acquisition/prediction scratch, so parallel
+// observes must neither race (verified under -race in CI) nor cross-wire
+// suggestions between sessions.
+func TestConcurrentSessionsSurrogateScratch(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 1})
+	const sessions = 6
+	ids := make([]string, sessions)
+	for i := range ids {
+		backend := "bo"
+		if i%2 == 1 {
+			backend = "gbo"
+		}
+		st, err := m.Create(Spec{Backend: backend, Workload: "SVM", Seed: uint64(i + 1), MaxIterations: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			for step := 0; step < 18; step++ {
+				cfg, done, err := m.Suggest(id)
+				if err != nil {
+					t.Errorf("session %s: suggest: %v", id, err)
+					return
+				}
+				if done {
+					return
+				}
+				obs := measure(t, "A", "SVM", Observation{Config: cfg}, uint64(i*100+step))
+				if _, err := m.Observe(id, obs); err != nil {
+					t.Errorf("session %s: observe: %v", id, err)
+					return
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+
+	mt := m.Metrics()
+	if mt.SurrogateAppends == 0 {
+		t.Fatal("no incremental surrogate appends recorded across concurrent sessions")
+	}
+	if mt.SurrogateFits == 0 {
+		t.Fatal("no surrogate hyperparameter selections recorded")
+	}
+	if mt.SurrogateAppends < mt.SurrogateFits {
+		t.Fatalf("appends (%d) should dominate full fits (%d) on the incremental path",
+			mt.SurrogateAppends, mt.SurrogateFits)
+	}
+}
