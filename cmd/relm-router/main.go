@@ -12,11 +12,28 @@
 //
 //	relm-router -backends a=http://10.0.0.1:8080,b=http://10.0.0.2:8080 \
 //	            [-addr :8090] [-check-interval 2s] [-check-backoff-max 30s] \
-//	            [-fail-after 2] [-timeout 15s]
+//	            [-fail-after 2] [-timeout 15s] [-retry-budget 2] \
+//	            [-breaker-threshold 3] [-breaker-probe 1s] [-breaker-probe-max 30s] \
+//	            [-promote]
+//
+// Each backend has a circuit breaker on the data path: after
+// -breaker-threshold consecutive transport failures it stops receiving
+// requests entirely, then admits a single probe after an exponentially
+// growing delay (-breaker-probe up to -breaker-probe-max); a served
+// request closes it. Routed requests spend at most -retry-budget retries
+// on further candidates after a transport failure or a 503-draining
+// answer.
+//
+// With -promote the router is also the fail-over controller: when a
+// backend dies without draining (health-check death), the router locates
+// the dead node's WAL replica on a surviving follower (the backends run
+// with -replicate-to), promotes it, and re-creates every lost
+// non-terminal session — original IDs, full replayed history — on the
+// survivors.
 //
 // Cluster operations:
 //
-//	curl -s localhost:8090/v1/cluster                 # node table
+//	curl -s localhost:8090/v1/cluster                 # node table, breaker + promotion state
 //	curl -s -X POST localhost:8090/v1/cluster/drain/a # drain node a, hand sessions to survivors
 package main
 
@@ -44,6 +61,11 @@ func main() {
 		backoffMax = flag.Duration("check-backoff-max", 30*time.Second, "failing-backend poll backoff cap")
 		failAfter  = flag.Int("fail-after", 2, "consecutive health-check failures before a backend is routed around")
 		timeout    = flag.Duration("timeout", 15*time.Second, "per-request backend timeout")
+		retryBud   = flag.Int("retry-budget", 2, "extra candidates a routed request may be retried on after a transport failure or 503-draining answer")
+		brThresh   = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a backend's circuit breaker")
+		brProbe    = flag.Duration("breaker-probe", time.Second, "initial open-breaker probe delay (doubles per failed probe)")
+		brProbeMax = flag.Duration("breaker-probe-max", 30*time.Second, "open-breaker probe delay cap")
+		promote    = flag.Bool("promote", false, "enable automatic fail-over: promote a dead backend's WAL replica and re-create its sessions on the survivors")
 	)
 	flag.Parse()
 
@@ -52,12 +74,17 @@ func main() {
 		log.Fatalf("parse -backends: %v", err)
 	}
 	r, err := router.New(router.Options{
-		Backends:      bs,
-		CheckInterval: *checkIvl,
-		BackoffMax:    *backoffMax,
-		FailAfter:     *failAfter,
-		Timeout:       *timeout,
-		Logf:          log.Printf,
+		Backends:         bs,
+		CheckInterval:    *checkIvl,
+		BackoffMax:       *backoffMax,
+		FailAfter:        *failAfter,
+		Timeout:          *timeout,
+		RetryBudget:      *retryBud,
+		BreakerThreshold: *brThresh,
+		BreakerProbe:     *brProbe,
+		BreakerProbeMax:  *brProbeMax,
+		Promote:          *promote,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("start router: %v", err)

@@ -25,11 +25,21 @@
 //	           [-wal-segment-bytes 4194304] [-commit-interval 0]
 //	           [-warm-distance 0.25] [-repo-cap 1024]
 //	           [-node-id a] [-advertise http://10.0.0.1:8080]
+//	           [-replicate-to b=http://10.0.0.2:8080,c=http://10.0.0.3:8080]
+//	           [-replica-dir <data-dir>/replicas] [-replicate-every 500ms]
+//	           [-replica-factor 1]
 //
 // In a multi-node cluster each node runs with a unique -node-id (session
 // IDs become "<node>-sess-N", unique without coordination) and a
 // relm-router in front partitions sessions across the nodes; see
 // cmd/relm-router.
+//
+// With -replicate-to the node ships its write-ahead log (snapshot +
+// sealed segments + active-segment tail) to -replica-factor
+// rendezvous-chosen peers and ingests other primaries' logs under
+// -replica-dir. When a node dies without draining, a router started with
+// -promote fences the dead node's replica on a follower, replays it, and
+// re-creates the lost sessions on the survivors — automatic fail-over.
 //
 // One full remote tuning loop:
 //
@@ -50,9 +60,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"relm/internal/replica"
 	"relm/internal/service"
 	"relm/internal/store"
 )
@@ -72,6 +85,10 @@ func main() {
 		repoCap      = flag.Int("repo-cap", 1024, "model-repository capacity; least-recently-matched entries are evicted past it (negative = unbounded)")
 		nodeID       = flag.String("node-id", "", "node identity in a multi-node cluster: prefixes session IDs, reported by /healthz for router verification")
 		advertise    = flag.String("advertise", "", "URL routers should reach this node at (informational, surfaced by /healthz)")
+		replicateTo  = flag.String("replicate-to", "", "comma-separated replication peers, each 'name=url' (self filtered out by name); enables WAL log-shipping and replica ingest (requires -data-dir and -node-id)")
+		replicaDir   = flag.String("replica-dir", "", "directory for ingesting other primaries' replicas (default <data-dir>/replicas)")
+		replicateIvl = flag.Duration("replicate-every", 500*time.Millisecond, "log-shipping interval: how often the active segment tail and new sealed segments are shipped to followers")
+		replicaN     = flag.Int("replica-factor", 1, "followers per primary (1 or 2): how many rendezvous-chosen peers receive this node's log")
 	)
 	flag.Parse()
 
@@ -85,8 +102,10 @@ func main() {
 		NodeID:          *nodeID,
 		Advertise:       *advertise,
 	}
+	var st *store.File
 	if *dataDir != "" {
-		st, err := store.OpenFile(*dataDir, store.FileOptions{
+		var err error
+		st, err = store.OpenFile(*dataDir, store.FileOptions{
 			SyncEachAppend: *fsync,
 			SegmentBytes:   *segmentBytes,
 			CommitInterval: *commitIvl,
@@ -95,6 +114,39 @@ func main() {
 			log.Fatalf("open store: %v", err)
 		}
 		opts.Store = st
+	}
+
+	if *replicateTo != "" {
+		if *dataDir == "" || *nodeID == "" {
+			log.Fatalf("-replicate-to requires -data-dir and -node-id")
+		}
+		peers, err := parsePeers(*replicateTo)
+		if err != nil {
+			log.Fatalf("parse -replicate-to: %v", err)
+		}
+		dir := *replicaDir
+		if dir == "" {
+			dir = filepath.Join(*dataDir, "replicas")
+		}
+		set, err := replica.New(replica.Options{
+			Self:     *nodeID,
+			Peers:    peers,
+			Factor:   *replicaN,
+			Dir:      dir,
+			Source:   st,
+			Interval: *replicateIvl,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("start replication: %v", err)
+		}
+		defer set.Close()
+		opts.Replica = set
+		followers := make([]string, 0, *replicaN)
+		for _, p := range replica.Followers(*nodeID, peers, *replicaN) {
+			followers = append(followers, p.Name)
+		}
+		log.Printf("replicating WAL to %v every %s (ingest dir %s)", followers, *replicateIvl, dir)
 	}
 
 	m, err := service.Open(opts)
@@ -134,4 +186,24 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// parsePeers splits "a=http://host:port,b=..." into replication peers.
+func parsePeers(s string) ([]replica.Peer, error) {
+	var out []replica.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok || name == "" || u == "" {
+			return nil, fmt.Errorf("bad peer %q (want 'name=url')", part)
+		}
+		out = append(out, replica.Peer{Name: name, URL: u})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no peers given")
+	}
+	return out, nil
 }

@@ -1,0 +1,378 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The shipper half of a Set: one background loop that, every Interval,
+// brings each follower up to date with the local log. A cycle per
+// follower is: fetch the follower's replica status (its ack: per-segment
+// high-water offsets plus the snapshot hash it holds), ship the snapshot
+// if it changed, then ship each segment's missing suffix in index order,
+// chunked. Shipping the snapshot FIRST matters: segment requests carry
+// the primary's minimum live segment index and the follower prunes its
+// replica below it — that is only safe once the snapshot that folded
+// those segments in has landed.
+
+// followerState tracks one ship target.
+type followerState struct {
+	peer Peer
+
+	mu          sync.Mutex
+	segsBehind  int
+	bytesBehind int64
+	lastAck     time.Time
+	lastErr     string
+	ships       uint64
+	shipErrors  uint64
+	fenced      bool // the follower promoted our replica: stop shipping
+	fencedLog   bool
+}
+
+func (f *followerState) snapshot() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FollowerStatus{
+		Follower:       f.peer.Name,
+		URL:            f.peer.URL,
+		SegmentsBehind: f.segsBehind,
+		BytesBehind:    f.bytesBehind,
+		LastAck:        f.lastAck,
+		LastError:      f.lastErr,
+		Ships:          f.ships,
+		ShipErrors:     f.shipErrors,
+		Promoted:       f.fenced,
+	}
+}
+
+func (f *followerState) ack() {
+	f.mu.Lock()
+	f.ships++
+	f.lastAck = time.Now()
+	f.lastErr = ""
+	f.mu.Unlock()
+}
+
+func (f *followerState) fail(err error) {
+	f.mu.Lock()
+	f.shipErrors++
+	f.lastErr = err.Error()
+	f.mu.Unlock()
+}
+
+// Followers returns the replication targets for the named primary: the
+// top factor peers (self excluded) by rendezvous score on the primary's
+// name — the same highest-random-weight recipe the router places sessions
+// with, so follower load spreads evenly and deterministically without
+// any coordination.
+func Followers(self string, peers []Peer, factor int) []Peer {
+	var out []Peer
+	for _, p := range peers {
+		if p.Name != self && p.Name != "" {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvous(out[i].Name, self), rendezvous(out[j].Name, self)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	if factor < len(out) {
+		out = out[:factor]
+	}
+	return out
+}
+
+// rendezvous scores placing key on the named node: FNV-1a over
+// "name\x00key" through a splitmix64 finalizer (shared recipe with
+// internal/router — the finalizer keeps short-string hashes from biasing
+// toward one node).
+func rendezvous(name, key string) uint64 {
+	const prime = 1099511628211
+	x := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		x ^= uint64(name[i])
+		x *= prime
+	}
+	x *= prime // the \x00 separator (XOR with 0 is identity)
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= prime
+	}
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashHex is the snapshot content hash (FNV-1a of the raw bytes) the
+// shipper compares against the follower's ack to skip unchanged
+// snapshots.
+func hashHex(data []byte) string {
+	const prime = 1099511628211
+	x := uint64(14695981039346656037)
+	for _, c := range data {
+		x ^= uint64(c)
+		x *= prime
+	}
+	return fmt.Sprintf("%016x", x)
+}
+
+func (s *Set) shipLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+		}
+		s.SyncNow()
+	}
+}
+
+// SyncNow runs one full ship cycle to every follower synchronously and
+// returns the first error (the loop ignores it; tests and benchmarks key
+// on it). Safe to call concurrently with the background loop only from
+// tests that did not start one.
+func (s *Set) SyncNow() error {
+	var first error
+	for _, f := range s.followers {
+		if err := s.shipOnce(f); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// errPromotedAway ends a ship cycle when the follower answers 410: it
+// promoted our replica, so there is nothing left to ship it.
+var errPromotedAway = errors.New("replica: follower promoted our replica")
+
+// shipOnce brings one follower up to date with the local log.
+func (s *Set) shipOnce(f *followerState) error {
+	f.mu.Lock()
+	fenced := f.fenced
+	f.mu.Unlock()
+	if fenced {
+		return nil
+	}
+	err := s.shipDelta(f)
+	if errors.Is(err, errPromotedAway) {
+		return nil
+	}
+	if err != nil {
+		f.fail(err)
+	}
+	return err
+}
+
+func (s *Set) shipDelta(f *followerState) error {
+	st, err := s.fetchStatus(f)
+	if err != nil {
+		return err
+	}
+	var mine *PrimaryStatus
+	for i := range st.Primaries {
+		if st.Primaries[i].Primary == s.opts.Self {
+			mine = &st.Primaries[i]
+			break
+		}
+	}
+	if mine != nil && mine.Promoted {
+		s.fence(f)
+		return nil
+	}
+	f.ack()
+
+	// Snapshot first (see the file comment for why the order matters).
+	snap, err := s.opts.Source.ReadSnapshotRaw()
+	if err != nil {
+		return err
+	}
+	if len(snap) > 0 {
+		h := hashHex(snap)
+		if mine == nil || mine.SnapshotHash != h {
+			if err := s.shipSnapshot(f, h, snap); err != nil {
+				return err
+			}
+		}
+	}
+
+	remote := make(map[uint64]int64)
+	if mine != nil {
+		for _, seg := range mine.Segments {
+			remote[seg.Index] = seg.Bytes
+		}
+	}
+	local := s.opts.Source.Segments()
+	if len(local) == 0 {
+		s.setLag(f, 0, 0)
+		return nil
+	}
+	min := local[0].Index
+	buf := make([]byte, s.opts.ChunkBytes)
+	for _, seg := range local {
+		off := remote[seg.Index]
+		for off < seg.Bytes {
+			n := int64(len(buf))
+			if rest := seg.Bytes - off; rest < n {
+				n = rest
+			}
+			read, err := s.opts.Source.ReadSegmentAt(seg.Index, off, buf[:n])
+			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					break // compacted away mid-cycle; next cycle re-lists
+				}
+				return err
+			}
+			size, err := s.shipChunk(f, seg.Index, off, min, buf[:read])
+			if err != nil {
+				var oe *OffsetError
+				if errors.As(err, &oe) && oe.Size != off {
+					off = oe.Size // resume where the follower actually is
+					if off > seg.Bytes {
+						return fmt.Errorf("replica: follower %s ahead of local segment %d (%d > %d)", f.peer.Name, seg.Index, off, seg.Bytes)
+					}
+					continue
+				}
+				return err
+			}
+			off = size
+			remote[seg.Index] = size
+		}
+	}
+	s.updateLag(f, remote)
+	return nil
+}
+
+// updateLag recomputes the follower's lag against a fresh local listing —
+// appends that landed during the cycle count as lag until the next one.
+func (s *Set) updateLag(f *followerState, remote map[uint64]int64) {
+	var segs int
+	var b int64
+	for _, seg := range s.opts.Source.Segments() {
+		if d := seg.Bytes - remote[seg.Index]; d > 0 {
+			segs++
+			b += d
+		}
+	}
+	s.setLag(f, segs, b)
+}
+
+func (s *Set) setLag(f *followerState, segs int, bytesBehind int64) {
+	f.mu.Lock()
+	f.segsBehind = segs
+	f.bytesBehind = bytesBehind
+	f.mu.Unlock()
+}
+
+// fence marks the follower as having promoted our replica. A fenced
+// primary that is still alive is the partition case: it keeps serving its
+// local sessions but its log no longer replicates — the README's
+// failure-mode walkthrough tells operators to drain or wipe such a node.
+func (s *Set) fence(f *followerState) {
+	f.mu.Lock()
+	logIt := !f.fencedLog
+	f.fenced = true
+	f.fencedLog = true
+	f.mu.Unlock()
+	if logIt {
+		s.logf("replica: follower %s promoted our replica; shipping to it stopped", f.peer.Name)
+	}
+}
+
+func (s *Set) fetchStatus(f *followerState) (*StatusResponse, error) {
+	u := f.peer.URL + "/v1/replica/status?primary=" + url.QueryEscape(s.opts.Self)
+	resp, err := s.opts.Client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: status from %s: HTTP %d: %s", f.peer.Name, resp.StatusCode, firstLine(body))
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("replica: status from %s: %w", f.peer.Name, err)
+	}
+	return &st, nil
+}
+
+func (s *Set) shipSnapshot(f *followerState, hash string, data []byte) error {
+	u := f.peer.URL + "/v1/replica/snapshot?primary=" + url.QueryEscape(s.opts.Self) + "&hash=" + hash
+	_, err := s.post(f, u, data)
+	return err
+}
+
+func (s *Set) shipChunk(f *followerState, segment uint64, offset int64, min uint64, data []byte) (int64, error) {
+	u := f.peer.URL + "/v1/replica/segments?primary=" + url.QueryEscape(s.opts.Self) +
+		"&segment=" + strconv.FormatUint(segment, 10) +
+		"&offset=" + strconv.FormatInt(offset, 10) +
+		"&min=" + strconv.FormatUint(min, 10)
+	return s.post(f, u, data)
+}
+
+// post issues one ingest request and interprets the protocol statuses:
+// 200 acks with the new size, 409 is an offset mismatch carrying the size
+// to resume from, 410 means the replica was promoted out from under us.
+func (s *Set) post(f *followerState, u string, data []byte) (int64, error) {
+	resp, err := s.opts.Client.Post(u, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	var ack IngestResponse
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return 0, fmt.Errorf("replica: ack from %s: %w", f.peer.Name, err)
+		}
+		f.ack()
+		return ack.Size, nil
+	case http.StatusConflict:
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return 0, fmt.Errorf("replica: conflict from %s: %w", f.peer.Name, err)
+		}
+		return ack.Size, &OffsetError{Size: ack.Size}
+	case http.StatusGone:
+		s.fence(f)
+		return 0, errPromotedAway
+	default:
+		return 0, fmt.Errorf("replica: ship to %s: HTTP %d: %s", f.peer.Name, resp.StatusCode, firstLine(body))
+	}
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

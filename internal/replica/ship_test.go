@@ -1,0 +1,230 @@
+package replica_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"relm/internal/replica"
+	"relm/internal/service"
+	"relm/internal/store"
+)
+
+// shipRig is one primary (real segmented store) shipping to one follower
+// (real service handler with an ingest-role Set) over real HTTP.
+type shipRig struct {
+	primary     *store.File
+	primaryDir  string
+	set         *replica.Set
+	follower    *replica.Set
+	followerDir string
+	srv         *httptest.Server
+}
+
+func newShipRig(t *testing.T, segmentBytes int64) *shipRig {
+	t.Helper()
+	rig := &shipRig{primaryDir: t.TempDir(), followerDir: t.TempDir()}
+
+	var err error
+	rig.follower, err = replica.New(replica.Options{Self: "b", Dir: rig.followerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := service.NewManager(service.Options{NodeID: "b", Workers: 1, TTL: time.Hour, Replica: rig.follower})
+	rig.srv = httptest.NewServer(service.NewHandler(m))
+
+	rig.primary, err = store.OpenFile(rig.primaryDir, store.FileOptions{SegmentBytes: segmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge interval keeps the background loop dormant; tests drive
+	// cycles with SyncNow for determinism.
+	rig.set, err = replica.New(replica.Options{
+		Self:     "a",
+		Peers:    []replica.Peer{{Name: "b", URL: rig.srv.URL}},
+		Source:   rig.primary,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rig.set.Close()
+		rig.srv.Close()
+		m.Close()
+		rig.follower.Close()
+		rig.primary.Close()
+	})
+	return rig
+}
+
+func (rig *shipRig) append(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ev := &store.Event{Type: store.EventClose, ID: "sess-pad", Time: time.Unix(int64(i), 0).UTC()}
+		if _, err := rig.primary.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// replicaDir is where the follower keeps primary a's replica.
+func (rig *shipRig) replicaDir() string { return filepath.Join(rig.followerDir, "a") }
+
+// assertMirrored fails unless every primary segment is byte-identical on
+// the follower.
+func (rig *shipRig) assertMirrored(t *testing.T) {
+	t.Helper()
+	segs := rig.primary.Segments()
+	if len(segs) == 0 {
+		t.Fatal("primary has no segments")
+	}
+	for _, seg := range segs {
+		name := store.SegmentFileName(seg.Index)
+		want, err := os.ReadFile(filepath.Join(rig.primaryDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(rig.replicaDir(), name))
+		if err != nil {
+			t.Fatalf("replica missing %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replica %s differs: %d bytes vs %d", name, len(got), len(want))
+		}
+	}
+}
+
+func TestShipCatchUpAndTail(t *testing.T) {
+	rig := newShipRig(t, 512)
+	rig.append(t, 20) // several sealed segments + an active tail
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	rig.assertMirrored(t)
+
+	st := rig.set.Stats()
+	if st.SegmentsBehind != 0 || st.BytesBehind != 0 {
+		t.Fatalf("lag after full sync: %+v", st)
+	}
+	if st.Ships == 0 {
+		t.Fatal("no ships counted")
+	}
+
+	// Tail growth: a second cycle ships only the delta and stays exact.
+	rig.append(t, 7)
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("tail sync: %v", err)
+	}
+	rig.assertMirrored(t)
+
+	// Idempotence across shipper restarts: a fresh Set (no memory of what
+	// was acked) must converge without corrupting the replica.
+	set2, err := replica.New(replica.Options{
+		Self:     "a",
+		Peers:    []replica.Peer{{Name: "b", URL: rig.srv.URL}},
+		Source:   rig.primary,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if err := set2.SyncNow(); err != nil {
+		t.Fatalf("restarted shipper sync: %v", err)
+	}
+	rig.assertMirrored(t)
+}
+
+func TestShipSnapshotAndPrune(t *testing.T) {
+	rig := newShipRig(t, 512)
+	rig.append(t, 20)
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compaction folds the sealed prefix into a snapshot and deletes it.
+	if err := rig.primary.Compact(&store.Snapshot{Fence: rig.primary.Seq()}); err != nil {
+		t.Fatal(err)
+	}
+	rig.append(t, 3) // new bytes so the next cycle carries the new min
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	rig.assertMirrored(t)
+
+	// The replica snapshot is byte-identical to the primary's…
+	want, err := os.ReadFile(filepath.Join(rig.primaryDir, "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(rig.replicaDir(), "snapshot.json"))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("replica snapshot differs (err %v)", err)
+	}
+	// …and segments the primary compacted away are pruned on the replica.
+	minLive := rig.primary.Segments()[0].Index
+	replSegs, err := store.ListSegmentFiles(rig.replicaDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range replSegs {
+		if seg.Index < minLive {
+			t.Fatalf("replica kept pruned segment %d (min live %d)", seg.Index, minLive)
+		}
+	}
+
+	// A second cycle with nothing new ships nothing (snapshot hash match).
+	before := rig.follower.Stats().Ingests
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if after := rig.follower.Stats().Ingests; after != before {
+		t.Fatalf("idle cycle re-shipped: ingests %d -> %d", before, after)
+	}
+}
+
+func TestShipStopsAfterPromotion(t *testing.T) {
+	rig := newShipRig(t, 512)
+	rig.append(t, 5)
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower promotes a's replica (fail-over elsewhere decided a is
+	// dead). The zombie primary's next cycles must fence cleanly: no
+	// error, no counter churn, Promoted surfaced in its follower status.
+	if _, err := rig.follower.Promote("a"); err != nil {
+		t.Fatal(err)
+	}
+	rig.append(t, 3)
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("fenced cycle errored: %v", err)
+	}
+	st := rig.set.Status()
+	if len(st.Followers) != 1 || !st.Followers[0].Promoted {
+		t.Fatalf("follower status after fence: %+v", st.Followers)
+	}
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("post-fence cycle errored: %v", err)
+	}
+	// Replica content froze at the promotion point.
+	segs, err := store.ListSegmentFiles(rig.replicaDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replicaBytes int64
+	for _, seg := range segs {
+		replicaBytes += seg.Bytes
+	}
+	var primaryBytes int64
+	for _, seg := range rig.primary.Segments() {
+		primaryBytes += seg.Bytes
+	}
+	if replicaBytes >= primaryBytes {
+		t.Fatalf("replica kept growing after fence: %d vs primary %d", replicaBytes, primaryBytes)
+	}
+}

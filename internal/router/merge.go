@@ -2,6 +2,7 @@ package router
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,7 +36,11 @@ func emptyIs503(w http.ResponseWriter, results []nodeResult) bool {
 	return false
 }
 
-// fanout issues one request to every eligible node concurrently.
+// fanout issues one request to every eligible node concurrently. It rides
+// the circuit breakers: a timed-out backend counts toward tripping its
+// breaker, and a node whose breaker claims no capacity mid-flight is
+// dropped from the merge — the same exclusion the placement filter applies
+// before the fan-out, not a silent partial failure.
 func (r *Router) fanout(req *http.Request, method, path string, body []byte) []nodeResult {
 	nodes := r.eligibleNodes()
 	results := make([]nodeResult, len(nodes))
@@ -44,12 +49,18 @@ func (r *Router) fanout(req *http.Request, method, path string, body []byte) []n
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			status, buf, _, err := r.send(r.client, req, n, method, path, "", body)
+			status, buf, _, err := r.sendTracked(r.client, req, n, method, path, "", body)
 			results[i] = nodeResult{node: n, status: status, body: buf, err: err}
 		}()
 	}
 	wg.Wait()
-	return results
+	kept := results[:0]
+	for _, res := range results {
+		if !errors.Is(res.err, errBreakerOpen) {
+			kept = append(kept, res)
+		}
+	}
+	return kept
 }
 
 // gatherErrors collects per-node failures of a fan-out; nil when clean.
@@ -163,11 +174,32 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		}
 		perNode[res.node.name] = json.RawMessage(res.body)
 	}
+	var opens, retries uint64
+	var open, halfOpen int
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		opens += n.brOpens
+		retries += n.retries
+		switch n.brState {
+		case brOpen:
+			open++
+		case brHalfOpen:
+			halfOpen++
+		}
+		n.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":             len(results),
 		"totals":            totals,
 		"sessions_by_state": byState,
 		"per_node":          perNode,
+		"router": map[string]any{
+			"promotions_total":  r.promotions.Load(),
+			"breaker_opens":     opens,
+			"breakers_open":     open,
+			"breakers_halfopen": halfOpen,
+			"retries_total":     retries,
+		},
 	})
 }
 

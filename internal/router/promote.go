@@ -1,0 +1,307 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"relm/internal/replica"
+	"relm/internal/service"
+)
+
+// Automatic fail-over. When a backend dies without draining (health-check
+// death), the router finds which surviving node holds the dead primary's
+// replica — the backends ship their WAL to rendezvous-chosen followers —
+// and promotes it: the follower fences the replica against further ingest,
+// replays it exactly like a crash recovery, and returns a hand-off package
+// of every non-terminal session with full history. The router then imports
+// the dead node's model repository into the survivors and re-creates each
+// session under its original ID on its new rendezvous owner: remote
+// sessions are replayed observation by observation (re-arming suggestions
+// where the journal says one was outstanding) so the successor's tuner is
+// bit-exact with the lost one; auto sessions restart seeded with their own
+// history as a prior and the worker pool re-drives them.
+//
+// Drain is deliberately NOT a trigger: a drained node hands its sessions
+// off itself. Promotion is only for nodes that never got the chance.
+
+// PromotionReport describes one fail-over (GET /v1/cluster,
+// "last_promotion").
+type PromotionReport struct {
+	Node       string            `json:"node"`   // the dead primary
+	Holder     string            `json:"holder"` // survivor whose replica was promoted
+	Sessions   int               `json:"sessions"`
+	Reassigned []reassignment    `json:"reassigned"`
+	Models     int               `json:"models"`
+	Errors     map[string]string `json:"errors,omitempty"`
+	At         time.Time         `json:"at"`
+}
+
+// maybePromote starts a promotion for a dead node unless one already ran
+// or is running. Called from the health loop on every failed check, so a
+// failed attempt (e.g. no survivor holds a replica yet) retries at
+// health-check cadence.
+func (r *Router) maybePromote(n *node) {
+	n.mu.Lock()
+	if n.draining || n.promoted || n.promoting {
+		n.mu.Unlock()
+		return
+	}
+	n.promoting = true
+	n.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ok := r.promote(n)
+		n.mu.Lock()
+		n.promoting = false
+		if ok {
+			n.promoted = true
+		}
+		n.mu.Unlock()
+	}()
+}
+
+// promote runs one fail-over attempt for dead node n. It returns false
+// only while nothing irreversible has happened (no replica found, promote
+// call failed) — those attempts retry. Once a follower has fenced and
+// replayed the replica the promotion is declared done even if parts of the
+// hand-off failed; the remainder is in the report for the operator, and a
+// rerun could not recover it anyway (the replica now reports Promoted and
+// would be skipped).
+func (r *Router) promote(n *node) bool {
+	if n.eligible() {
+		return false // flapped back to healthy; nothing to do
+	}
+	survivors := r.survivorsFor(n)
+	if len(survivors) == 0 {
+		r.logf("router: promote %s: no healthy survivor", n.name)
+		return false
+	}
+
+	holder, holderBytes := r.findHolder(n.name, survivors)
+	if holder == nil {
+		r.logf("router: promote %s: no survivor holds an unpromoted replica", n.name)
+		return false
+	}
+	r.logf("router: promoting replica of %s on %s (%d bytes)", n.name, holder.name, holderBytes)
+
+	body, _ := json.Marshal(map[string]string{"primary": n.name})
+	status, buf, err := r.call(r.drainClient, holder, http.MethodPost, "/v1/replica/promote", "", body)
+	if err != nil {
+		holder.suspect(err, r.opts.FailAfter)
+		r.logf("router: promote %s on %s: %v", n.name, holder.name, err)
+		return false
+	}
+	if status != http.StatusOK {
+		r.logf("router: promote %s on %s: status %d: %s", n.name, holder.name, status, truncate(buf, 200))
+		return false
+	}
+	var handoff service.HandoffResponse
+	if err := json.Unmarshal(buf, &handoff); err != nil {
+		r.logf("router: promote %s on %s: bad hand-off body: %v", n.name, holder.name, err)
+		return false
+	}
+
+	// Point of no return: the replica is fenced and replayed.
+	r.promotions.Add(1)
+	errs := make(map[string]string)
+
+	// Share the dead node's models so any successor can warm-start, same
+	// as a drain would have.
+	if len(handoff.Models) > 0 {
+		importBody, err := json.Marshal(service.RepoImportRequest{Models: handoff.Models})
+		if err == nil {
+			for _, s := range survivors {
+				st, b, err := r.call(r.drainClient, s, http.MethodPost, "/v1/repository/import", "", importBody)
+				if err != nil {
+					errs["import "+s.name] = err.Error()
+				} else if st != http.StatusOK {
+					errs["import "+s.name] = fmt.Sprintf("status %d: %s", st, truncate(b, 200))
+				}
+			}
+		} else {
+			errs["import"] = "encode: " + err.Error()
+		}
+	}
+
+	// Re-create every recovered session under its original ID on its new
+	// rendezvous owner, then replay its history into it.
+	reassigned := make([]reassignment, 0, len(handoff.Sessions))
+	for _, hs := range handoff.Sessions {
+		create := hs.Create
+		create.ID = hs.ID
+		createBody, err := json.Marshal(create)
+		if err != nil {
+			errs["recreate "+hs.ID] = "encode: " + err.Error()
+			continue
+		}
+		placed := false
+		for _, succ := range candidates(survivors, hs.ID) {
+			st, b, err := r.call(r.drainClient, succ, http.MethodPost, "/v1/sessions", "", createBody)
+			if err != nil {
+				succ.suspect(err, r.opts.FailAfter)
+				continue
+			}
+			switch st {
+			case http.StatusCreated:
+				if rerr := r.replaySession(succ, hs); rerr != nil {
+					errs["replay "+hs.ID] = rerr.Error()
+				}
+				reassigned = append(reassigned, reassignment{ID: hs.ID, Node: succ.name, WarmStarted: len(create.PriorPoints) > 0})
+				placed = true
+			case http.StatusConflict:
+				// A concurrent or earlier attempt already placed it.
+				reassigned = append(reassigned, reassignment{ID: hs.ID, Node: succ.name})
+				placed = true
+			default:
+				errs["recreate "+hs.ID] = fmt.Sprintf("node %s: status %d: %s", succ.name, st, truncate(b, 200))
+			}
+			break
+		}
+		if !placed && errs["recreate "+hs.ID] == "" {
+			errs["recreate "+hs.ID] = "no reachable successor"
+		}
+	}
+
+	if len(errs) == 0 {
+		errs = nil
+	}
+	report := &PromotionReport{
+		Node:       n.name,
+		Holder:     holder.name,
+		Sessions:   len(handoff.Sessions),
+		Reassigned: reassigned,
+		Models:     len(handoff.Models),
+		Errors:     errs,
+		At:         time.Now(),
+	}
+	r.promoMu.Lock()
+	r.lastPromo = report
+	r.promoMu.Unlock()
+	r.logf("router: promoted %s via %s: %d sessions recovered, %d reassigned, %d models, %d errors",
+		n.name, holder.name, len(handoff.Sessions), len(reassigned), len(handoff.Models), len(errs))
+	return true
+}
+
+// survivorsFor returns the eligible nodes other than the dead one.
+func (r *Router) survivorsFor(dead *node) []*node {
+	var out []*node
+	for _, n := range r.eligibleNodes() {
+		if n != dead {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// findHolder asks every survivor whether it holds a replica of the dead
+// primary and returns the one with the most replicated bytes (already
+// promoted replicas are skipped — they were consumed by a previous
+// fail-over and a revived primary has been shipping nowhere since).
+func (r *Router) findHolder(dead string, survivors []*node) (*node, int64) {
+	type cand struct {
+		n     *node
+		bytes int64
+	}
+	var cands []cand
+	q := url.Values{"primary": {dead}}.Encode()
+	for _, s := range survivors {
+		status, buf, err := r.call(r.client, s, http.MethodGet, "/v1/replica/status", q, nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var st replica.StatusResponse
+		if err := json.Unmarshal(buf, &st); err != nil {
+			continue
+		}
+		for _, ps := range st.Primaries {
+			if ps.Primary == dead && !ps.Promoted {
+				cands = append(cands, cand{n: s, bytes: ps.Bytes})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bytes != cands[j].bytes {
+			return cands[i].bytes > cands[j].bytes
+		}
+		return cands[i].n.name < cands[j].n.name
+	})
+	return cands[0].n, cands[0].bytes
+}
+
+// replaySession drives a recreated remote session through its recorded
+// history on its new owner: re-arm the suggestion where one was
+// outstanding, then report the observation — the exact interleaving the
+// journal recorded, which is what makes the successor's tuner bit-exact.
+// Auto sessions are not replayed (their history rode in as the create
+// prior and a worker re-drives them).
+func (r *Router) replaySession(succ *node, hs service.HandoffSessionJSON) error {
+	if hs.Create.Mode == "auto" || len(hs.History) == 0 {
+		return nil
+	}
+	base := "/v1/sessions/" + hs.ID
+	for i, h := range hs.History {
+		if h.Suggested {
+			if st, b, err := r.call(r.drainClient, succ, http.MethodPost, base+"/suggest", "", []byte("{}")); err != nil {
+				return fmt.Errorf("suggest %d: %w", i, err)
+			} else if st != http.StatusOK {
+				return fmt.Errorf("suggest %d: status %d: %s", i, st, truncate(b, 200))
+			}
+		}
+		obs, err := json.Marshal(service.ObserveRequest{
+			Config:     h.Config,
+			RuntimeSec: h.RuntimeSec,
+			Aborted:    h.Aborted,
+			GCOverhead: h.GCOverhead,
+			Stats:      h.Stats,
+		})
+		if err != nil {
+			return fmt.Errorf("observe %d: encode: %w", i, err)
+		}
+		if st, b, err := r.call(r.drainClient, succ, http.MethodPost, base+"/observe", "", obs); err != nil {
+			return fmt.Errorf("observe %d: %w", i, err)
+		} else if st != http.StatusOK {
+			return fmt.Errorf("observe %d: status %d: %s", i, st, truncate(b, 200))
+		}
+	}
+	return nil
+}
+
+// call is send without an inbound request to proxy — the promotion path
+// runs from the health loop, not a handler.
+func (r *Router) call(client *http.Client, n *node, method, path, query string, body []byte) (int, []byte, error) {
+	u := *n.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = query
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u.String(), rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, buf, nil
+}

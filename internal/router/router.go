@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -33,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +66,24 @@ type Options struct {
 	Transport http.RoundTripper
 	// Logf, when non-nil, receives health-transition and drain log lines.
 	Logf func(format string, args ...any)
+	// RetryBudget is how many additional candidates a routed request may be
+	// retried on after its first choice fails at the transport level or
+	// answers 503-draining (default 2). The budget bounds worst-case
+	// latency: a request never waits on more than 1+RetryBudget backends.
+	RetryBudget int
+	// BreakerThreshold is how many consecutive data-path transport failures
+	// open a backend's circuit breaker (default 3). An open breaker admits
+	// no data-path traffic; after BreakerProbe (doubling up to
+	// BreakerProbeMax on repeated failure, defaults 1s/30s) one half-open
+	// probe request is admitted, and its success closes the breaker.
+	BreakerThreshold int
+	BreakerProbe     time.Duration
+	BreakerProbeMax  time.Duration
+	// Promote enables automatic fail-over: when a backend dies without
+	// draining, the router promotes its replica on a surviving follower and
+	// re-creates the lost sessions (requires -replicate-to on the
+	// backends).
+	Promote bool
 }
 
 func (o *Options) fill() {
@@ -79,6 +99,18 @@ func (o *Options) fill() {
 	if o.Timeout == 0 {
 		o.Timeout = 15 * time.Second
 	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 2
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerProbe == 0 {
+		o.BreakerProbe = time.Second
+	}
+	if o.BreakerProbeMax == 0 {
+		o.BreakerProbeMax = 30 * time.Second
+	}
 }
 
 // node is the router's view of one backend. All mutable fields behind mu.
@@ -93,20 +125,39 @@ type node struct {
 	sessions  int
 	lastErr   string
 	lastCheck time.Time
+
+	// Circuit breaker over the data path (see breaker.go).
+	brState   int
+	brFails   int
+	brProbing bool
+	brUntil   time.Time
+	brDelay   time.Duration
+	brOpens   uint64
+	retries   uint64
+
+	// Fail-over bookkeeping (see promote.go). promoted is sticky: a node
+	// that died and was promoted away stays promoted even if its process
+	// revives — its data lives elsewhere now and a revived copy is stale.
+	promoting bool
+	promoted  bool
 }
 
 func (n *node) snapshot() NodeStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return NodeStatus{
-		Name:      n.name,
-		URL:       n.base.String(),
-		Healthy:   n.healthy,
-		Draining:  n.draining,
-		Sessions:  n.sessions,
-		Fails:     n.fails,
-		LastError: n.lastErr,
-		LastCheck: n.lastCheck,
+		Name:         n.name,
+		URL:          n.base.String(),
+		Healthy:      n.healthy,
+		Draining:     n.draining,
+		Sessions:     n.sessions,
+		Fails:        n.fails,
+		LastError:    n.lastErr,
+		LastCheck:    n.lastCheck,
+		Breaker:      breakerWord(n.brState),
+		BreakerOpens: n.brOpens,
+		Retries:      n.retries,
+		Promoted:     n.promoted,
 	}
 }
 
@@ -139,6 +190,15 @@ type NodeStatus struct {
 	Fails     int       `json:"fails,omitempty"`
 	LastError string    `json:"last_error,omitempty"`
 	LastCheck time.Time `json:"last_check,omitzero"`
+	// Breaker is the node's circuit-breaker state (closed/open/half-open);
+	// BreakerOpens counts trips, Retries counts requests retried away from
+	// this node onto another candidate.
+	Breaker      string `json:"breaker"`
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
+	Retries      uint64 `json:"retries,omitempty"`
+	// Promoted reports the node's replica was promoted after it died; a
+	// revived process under this name holds stale state.
+	Promoted bool `json:"promoted,omitempty"`
 }
 
 // Router partitions tuning sessions across backends. It is an http.Handler;
@@ -154,6 +214,11 @@ type Router struct {
 	quit        chan struct{}
 	wg          sync.WaitGroup
 	closeOnce   sync.Once
+
+	// Fail-over accounting (see promote.go).
+	promotions atomic.Uint64
+	promoMu    sync.Mutex
+	lastPromo  *PromotionReport
 }
 
 // New builds a Router over opts.Backends and starts its health checkers.
@@ -259,11 +324,14 @@ func candidates(nodes []*node, key string) []*node {
 	return out
 }
 
-// eligibleNodes snapshots the nodes currently accepting traffic.
+// eligibleNodes snapshots the nodes currently accepting data-path
+// traffic: healthy, not draining, and with breaker capacity (closed, or
+// due a half-open probe).
 func (r *Router) eligibleNodes() []*node {
+	now := time.Now()
 	out := make([]*node, 0, len(r.nodes))
 	for _, n := range r.nodes {
-		if n.eligible() {
+		if n.eligible() && n.brAvailable(now) {
 			out = append(out, n)
 		}
 	}
@@ -272,10 +340,11 @@ func (r *Router) eligibleNodes() []*node {
 
 // pick returns the owner of key among the eligible nodes (nil when none).
 func (r *Router) pick(key string) *node {
+	now := time.Now()
 	var best *node
 	var bestScore uint64
 	for _, n := range r.nodes {
-		if !n.eligible() {
+		if !n.eligible() || !n.brAvailable(now) {
 			continue
 		}
 		s := score(n.name, key)
@@ -351,6 +420,12 @@ func (r *Router) healthLoop(n *node) {
 		n.mu.Unlock()
 		if wasHealthy != isHealthy {
 			r.logf("router: node %s %s (%v)", n.name, healthWord(isHealthy), err)
+		}
+		if !isHealthy && r.opts.Promote {
+			// Health-check death (not drain) is the promotion trigger.
+			// maybePromote single-flights per node and no-ops once done; a
+			// failed attempt retries on the next failed check.
+			r.maybePromote(n)
 		}
 		timer.Reset(delay)
 	}
@@ -447,6 +522,11 @@ func writeProxied(w http.ResponseWriter, n *node, status int, buf []byte, hdr ht
 // wherever it actually lives; only when every eligible node reports 404 is
 // the session truly gone (and the owner's 404 is what the client sees).
 // The walk costs extra hops only on 404s — the healthy path is one hop.
+//
+// Failures spend retry budget: a transport error or a 503-draining answer
+// moves on to the next candidate at most RetryBudget times, so a request
+// never waits on more than 1+RetryBudget slow backends. 404s don't spend
+// budget — the node answered fast, it just doesn't hold the session.
 func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	cands := candidates(r.eligibleNodes(), id)
@@ -469,13 +549,22 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 		buf    []byte
 		hdr    http.Header
 	}
-	var notFound *miss
+	var notFound, draining *miss
 	var lastErr error
+	retries := 0
 	for _, n := range cands {
-		status, buf, hdr, err := r.send(r.client, req, n, req.Method, req.URL.Path, req.URL.RawQuery, body)
+		status, buf, hdr, err := r.sendTracked(r.client, req, n, req.Method, req.URL.Path, req.URL.RawQuery, body)
 		if err != nil {
+			if errors.Is(err, errBreakerOpen) {
+				continue // breaker race: skipping costs no budget
+			}
 			n.suspect(err, r.opts.FailAfter)
 			lastErr = fmt.Errorf("node %s: %w", n.name, err)
+			retries++
+			if retries > r.opts.RetryBudget {
+				break
+			}
+			n.retried()
 			continue
 		}
 		if status == http.StatusNotFound {
@@ -484,12 +573,30 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 			}
 			continue
 		}
+		if isDraining503(status, buf) {
+			if draining == nil {
+				draining = &miss{n: n, status: status, buf: buf, hdr: hdr}
+			}
+			retries++
+			if retries > r.opts.RetryBudget {
+				break
+			}
+			n.retried()
+			continue
+		}
 		writeProxied(w, n, status, buf, hdr)
 		return
 	}
 	if notFound != nil {
 		writeProxied(w, notFound.n, notFound.status, notFound.buf, notFound.hdr)
 		return
+	}
+	if draining != nil {
+		writeProxied(w, draining.n, draining.status, draining.buf, draining.hdr)
+		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no backend admitted the request")
 	}
 	writeJSON(w, http.StatusBadGateway, map[string]any{"error": "all backends unreachable: " + lastErr.Error()})
 }
@@ -528,12 +635,27 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var lastErr error
+	retries := 0
 	for _, n := range cands {
-		status, buf, hdr, err := r.send(r.client, req, n, http.MethodPost, "/v1/sessions", "", body)
+		status, buf, hdr, err := r.sendTracked(r.client, req, n, http.MethodPost, "/v1/sessions", "", body)
 		if err != nil {
+			if errors.Is(err, errBreakerOpen) {
+				continue
+			}
 			n.suspect(err, r.opts.FailAfter)
 			lastErr = fmt.Errorf("node %s: %w", n.name, err)
 			r.logf("router: create %s on %s failed, trying next candidate: %v", id, n.name, err)
+			retries++
+			if retries > r.opts.RetryBudget {
+				break
+			}
+			n.retried()
+			continue
+		}
+		if isDraining503(status, buf) && retries < r.opts.RetryBudget {
+			retries++
+			n.retried()
+			lastErr = fmt.Errorf("node %s: draining", n.name)
 			continue
 		}
 		if ct := hdr.Get("Content-Type"); ct != "" {
@@ -543,6 +665,9 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(status)
 		w.Write(buf)
 		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no backend admitted the request")
 	}
 	writeJSON(w, http.StatusBadGateway, map[string]any{"error": "all backends unreachable: " + lastErr.Error()})
 }
@@ -572,7 +697,16 @@ func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
 	for _, n := range r.nodes {
 		out = append(out, n.snapshot())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"nodes": out})
+	resp := map[string]any{
+		"nodes":            out,
+		"promotions_total": r.promotions.Load(),
+	}
+	r.promoMu.Lock()
+	if r.lastPromo != nil {
+		resp["last_promotion"] = r.lastPromo
+	}
+	r.promoMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz answers 200 while at least one backend can take traffic,

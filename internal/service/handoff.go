@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"relm/internal/bo"
+	"relm/internal/store"
+)
+
+// This file is the promotion half of fail-over: turning a dead node's
+// replicated WAL into a hand-off package a router can re-create the lost
+// sessions from. It reuses the restore machinery verbatim — a replica
+// directory is a valid store directory, so replaying it is exactly the
+// crash recovery the node itself would have run — but into a detached
+// Manager shell that never starts goroutines or journals anything.
+
+// HandoffSession is one non-terminal session recovered from a replica:
+// everything a successor needs to continue it under its original ID.
+type HandoffSession struct {
+	ID    string
+	State string // state at the primary's death
+	Evals int
+	// Spec is the re-create spec: ID cleared, Prior seeded with the warm
+	// start the lost instance held (or, for auto sessions, its own
+	// history) so the successor resumes from equivalent optimizer state.
+	Spec Spec
+	// History is the full recorded experiment sequence, in order. Remote
+	// sessions are replayed into the successor observation by observation
+	// (each entry's Suggested bit says whether to re-arm a suggestion
+	// first), reproducing the lost tuner bit-exactly.
+	History []HistoryEntry
+}
+
+// HandoffReport is the product of promoting a replica: the dead node's
+// non-terminal sessions plus its model repository.
+type HandoffReport struct {
+	Node     string // the dead primary the replica belonged to
+	Sessions []HandoffSession
+	Repo     []bo.RepoEntry
+}
+
+// ExtractHandoff replays the replica directory of a dead primary into a
+// hand-off package. The directory must be fenced against further ingest
+// first (replica.Set.Promote); opening recovers it exactly like a local
+// restart — a torn tail in the replicated active segment is truncated,
+// corruption in a sealed replica segment fails the promotion loudly.
+func ExtractHandoff(dir, node string) (HandoffReport, error) {
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		return HandoffReport{}, fmt.Errorf("service: open replica: %w", err)
+	}
+	snap, events, err := st.Load()
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return HandoffReport{}, fmt.Errorf("service: load replica: %w", err)
+	}
+	return BuildHandoff(snap, events, node)
+}
+
+// BuildHandoff replays a snapshot + log into a detached Manager shell and
+// collects the hand-off package: every non-terminal session with its full
+// history and a prior to seed its successor, plus the repository.
+func BuildHandoff(snap *store.Snapshot, events []store.Event, node string) (HandoffReport, error) {
+	m := newManager(Options{})
+	if _, err := m.restore(snap, events); err != nil {
+		return HandoffReport{}, err
+	}
+	rep := HandoffReport{Node: node}
+	for _, sh := range m.shards {
+		for id, s := range sh.sessions {
+			if s.state != StateActive && s.state != StateQueued && s.state != StateRunning {
+				continue
+			}
+			hs := HandoffSession{
+				ID:      id,
+				State:   s.state,
+				Evals:   len(s.history),
+				Spec:    s.spec,
+				History: append([]HistoryEntry(nil), s.history...),
+			}
+			hs.Spec.ID = ""
+			switch {
+			case s.warm != nil:
+				// Seed the successor with the exact warm start the lost
+				// instance held; WarmStart is cleared so the successor does
+				// not re-match a repository that may have changed since.
+				hs.Spec.Prior = s.warm.Points
+				hs.Spec.PriorSource = s.warm.Source
+				hs.Spec.PriorCluster = s.warm.Cluster
+				hs.Spec.PriorDistance = s.warm.Distance
+				hs.Spec.WarmStart = false
+			case s.spec.Mode == ModeAuto && len(s.history) > 0:
+				// Auto sessions are not replayed observation by observation
+				// (a worker re-drives them on the simulator); their own
+				// history becomes the prior, so the re-driven session starts
+				// from what the lost one had learned.
+				hs.Spec.Prior = historyPrior(s)
+				hs.Spec.PriorSource = s.spec.Workload
+				hs.Spec.PriorCluster = s.spec.Cluster
+				hs.Spec.WarmStart = false
+			}
+			rep.Sessions = append(rep.Sessions, hs)
+		}
+	}
+	sort.Slice(rep.Sessions, func(i, j int) bool { return rep.Sessions[i].ID < rep.Sessions[j].ID })
+	rep.Repo = append([]bo.RepoEntry(nil), m.repo.Entries...)
+	return rep, nil
+}
+
+// historyPrior renders a session's own history as prior points.
+func historyPrior(s *Session) []bo.PriorPoint {
+	pts := make([]bo.PriorPoint, 0, len(s.history))
+	for _, h := range s.history {
+		pts = append(pts, bo.PriorPoint{
+			X:   s.space.Encode(h.Config),
+			Cfg: h.Config,
+			Y:   h.Objective,
+		})
+	}
+	return pts
+}

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"relm/internal/bo"
 	"relm/internal/conf"
 	"relm/internal/profile"
+	"relm/internal/replica"
 )
 
 // ConfigJSON is the wire form of a configuration (Table 1 knobs).
@@ -68,6 +71,14 @@ type CreateRequest struct {
 	WarmMaxDistance   float64        `json:"warm_max_distance,omitempty"`
 	Stats             *profile.Stats `json:"stats,omitempty"`
 	DefaultRuntimeSec float64        `json:"default_runtime_sec,omitempty"`
+
+	// PriorPoints explicitly seeds the optimizer, bypassing repository
+	// matching — the fail-over hand-off path (Spec.Prior): a promoted
+	// session is re-created with the exact points its lost instance held.
+	PriorPoints   []bo.PriorPoint `json:"prior_points,omitempty"`
+	PriorSource   string          `json:"prior_source,omitempty"`
+	PriorCluster  string          `json:"prior_cluster,omitempty"`
+	PriorDistance float64         `json:"prior_distance,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe.
@@ -113,7 +124,10 @@ type StatusResponse struct {
 	WarmDistance float64 `json:"warm_distance,omitempty"`
 }
 
-// HistoryJSON is one recorded experiment on the wire.
+// HistoryJSON is one recorded experiment on the wire. Suggested reports
+// whether a suggestion was outstanding when the observation arrived — a
+// replayer (fail-over promotion) re-issues Suggest exactly for those
+// entries, reproducing the live suggest/observe interleaving.
 type HistoryJSON struct {
 	Config     ConfigJSON     `json:"config"`
 	RuntimeSec float64        `json:"runtime_sec"`
@@ -121,6 +135,7 @@ type HistoryJSON struct {
 	Aborted    bool           `json:"aborted"`
 	GCOverhead float64        `json:"gc_overhead,omitempty"`
 	Stats      *profile.Stats `json:"stats,omitempty"`
+	Suggested  bool           `json:"suggested,omitempty"`
 }
 
 // MetricsResponse is the body of GET /v1/metrics.
@@ -139,6 +154,7 @@ type MetricsResponse struct {
 	RepoHits         int64          `json:"repo_hits,omitempty"`
 	RepoEvictions    int64          `json:"repo_evictions,omitempty"`
 	Persistence      bool           `json:"persistence"`
+	Replication      bool           `json:"replication,omitempty"`
 	WALBytes         int64          `json:"wal_bytes,omitempty"`
 	WALEvents        uint64         `json:"wal_events,omitempty"`
 	WALSegments      int            `json:"wal_segments,omitempty"`
@@ -149,6 +165,19 @@ type MetricsResponse struct {
 	SnapshotBytes    int64          `json:"snapshot_bytes,omitempty"`
 	LastCompaction   *time.Time     `json:"last_compaction,omitempty"`
 	JournalError     string         `json:"journal_error,omitempty"`
+
+	// Replication lag and ingest counters (internal/replica). Top-level
+	// numerics so the router's metrics fan-out sums them cluster-wide.
+	ReplicaFollowers     int     `json:"replica_followers,omitempty"`
+	ReplicaSegsBehind    int     `json:"replica_segments_behind,omitempty"`
+	ReplicaBytesBehind   int64   `json:"replica_bytes_behind,omitempty"`
+	ReplicaLastAckAgeSec float64 `json:"replica_last_ack_age_sec,omitempty"`
+	ReplicaShips         uint64  `json:"replica_ships,omitempty"`
+	ReplicaShipErrors    uint64  `json:"replica_ship_errors,omitempty"`
+	ReplicaPrimaries     int     `json:"replica_primaries,omitempty"`
+	ReplicaIngests       uint64  `json:"replica_ingests,omitempty"`
+	ReplicaIngestBytes   int64   `json:"replica_ingest_bytes,omitempty"`
+	ReplicaPromotions    uint64  `json:"replica_promotions,omitempty"`
 }
 
 // DrainSessionJSON is one drained session on the wire: the state it held,
@@ -201,7 +230,59 @@ func specToCreateRequest(spec Spec) CreateRequest {
 		WarmMaxDistance:   spec.WarmMaxDistance,
 		Stats:             spec.Stats,
 		DefaultRuntimeSec: spec.DefaultRuntimeSec,
+		PriorPoints:       spec.Prior,
+		PriorSource:       spec.PriorSource,
+		PriorCluster:      spec.PriorCluster,
+		PriorDistance:     spec.PriorDistance,
 	}
+}
+
+// HandoffSessionJSON is one recovered session on the wire: the create
+// body a router POSTs to the session's new owner (ID re-added) plus the
+// history to replay into it.
+type HandoffSessionJSON struct {
+	ID      string        `json:"id"`
+	State   string        `json:"state"`
+	Evals   int           `json:"evals"`
+	Create  CreateRequest `json:"create"`
+	History []HistoryJSON `json:"history,omitempty"`
+}
+
+// HandoffResponse is the body of POST /v1/replica/promote: the dead
+// node's recovered sessions and model repository.
+type HandoffResponse struct {
+	Node     string               `json:"node"`
+	Sessions []HandoffSessionJSON `json:"sessions"`
+	Models   []bo.RepoEntry       `json:"models"`
+}
+
+func toHandoffResponse(rep HandoffReport) HandoffResponse {
+	resp := HandoffResponse{
+		Node:     rep.Node,
+		Sessions: make([]HandoffSessionJSON, 0, len(rep.Sessions)),
+		Models:   rep.Repo,
+	}
+	for _, hs := range rep.Sessions {
+		hj := HandoffSessionJSON{
+			ID:     hs.ID,
+			State:  hs.State,
+			Evals:  hs.Evals,
+			Create: specToCreateRequest(hs.Spec),
+		}
+		for _, h := range hs.History {
+			hj.History = append(hj.History, HistoryJSON{
+				Config:     toConfigJSON(h.Config),
+				RuntimeSec: h.RuntimeSec,
+				Objective:  h.Objective,
+				Aborted:    h.Aborted,
+				GCOverhead: h.GCOverhead,
+				Stats:      h.Stats,
+				Suggested:  h.Suggested,
+			})
+		}
+		resp.Sessions = append(resp.Sessions, hj)
+	}
+	return resp
 }
 
 // RepoEntryJSON is the wire form of one repository entry's inspection view.
@@ -272,6 +353,10 @@ type errorJSON struct {
 //	GET    /v1/repository/export      full repository entries, prior points included
 //	POST   /v1/repository/import      merge another node's exported entries (idempotent)
 //	POST   /v1/drain                  take the node out of service; returns the hand-off package
+//	GET    /v1/replica/status         replication status (shipper + ingest sides); ?primary= filters
+//	POST   /v1/replica/segments       ingest one segment chunk (?primary=&segment=&offset=&min=)
+//	POST   /v1/replica/snapshot       ingest a snapshot (?primary=&hash=)
+//	POST   /v1/replica/promote        fence + replay a dead primary's replica; returns the hand-off
 //	GET    /healthz                   liveness + node identity + draining flag
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
@@ -294,6 +379,10 @@ func NewHandler(m *Manager) http.Handler {
 			WarmMaxDistance:   req.WarmMaxDistance,
 			Stats:             req.Stats,
 			DefaultRuntimeSec: req.DefaultRuntimeSec,
+			Prior:             req.PriorPoints,
+			PriorSource:       req.PriorSource,
+			PriorCluster:      req.PriorCluster,
+			PriorDistance:     req.PriorDistance,
 		})
 		if err != nil {
 			writeError(w, err)
@@ -363,6 +452,7 @@ func NewHandler(m *Manager) http.Handler {
 				Aborted:    h.Aborted,
 				GCOverhead: h.GCOverhead,
 				Stats:      h.Stats,
+				Suggested:  h.Suggested,
 			})
 		}
 		writeJSON(w, http.StatusOK, out)
@@ -385,7 +475,20 @@ func NewHandler(m *Manager) http.Handler {
 			RepoHits:         mt.RepoHits,
 			RepoEvictions:    mt.RepoEvictions,
 			Persistence:      mt.Persistence,
+			Replication:      mt.Replication,
 			JournalError:     mt.JournalError,
+		}
+		if mt.Replication {
+			resp.ReplicaFollowers = mt.Replica.Followers
+			resp.ReplicaSegsBehind = mt.Replica.SegmentsBehind
+			resp.ReplicaBytesBehind = mt.Replica.BytesBehind
+			resp.ReplicaLastAckAgeSec = mt.Replica.LastAckAgeSec
+			resp.ReplicaShips = mt.Replica.Ships
+			resp.ReplicaShipErrors = mt.Replica.ShipErrors
+			resp.ReplicaPrimaries = mt.Replica.Primaries
+			resp.ReplicaIngests = mt.Replica.Ingests
+			resp.ReplicaIngestBytes = mt.Replica.IngestBytes
+			resp.ReplicaPromotions = mt.Replica.Promotions
 		}
 		if mt.Persistence {
 			resp.WALBytes = mt.Store.WALBytes
@@ -468,6 +571,120 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, RepoImportResponse{Imported: m.ImportRepository(req.Models)})
+	})
+
+	mux.HandleFunc("GET /v1/replica/status", func(w http.ResponseWriter, r *http.Request) {
+		set := m.ReplicaSet()
+		if set == nil {
+			// Replication off is not an error: shippers probing a peer see an
+			// empty status and treat it as "holds nothing of mine".
+			writeJSON(w, http.StatusOK, replica.StatusResponse{Node: m.NodeID()})
+			return
+		}
+		st := set.Status()
+		if p := r.URL.Query().Get("primary"); p != "" {
+			var keep []replica.PrimaryStatus
+			for _, ps := range st.Primaries {
+				if ps.Primary == p {
+					keep = append(keep, ps)
+				}
+			}
+			st.Primaries = keep
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("POST /v1/replica/segments", func(w http.ResponseWriter, r *http.Request) {
+		set := m.ReplicaSet()
+		if set == nil {
+			writeJSON(w, http.StatusServiceUnavailable, replica.IngestResponse{Error: "replication not configured"})
+			return
+		}
+		q := r.URL.Query()
+		segment, err1 := strconv.ParseUint(q.Get("segment"), 10, 64)
+		offset, err2 := strconv.ParseInt(q.Get("offset"), 10, 64)
+		var min uint64
+		var err3 error
+		if v := q.Get("min"); v != "" {
+			min, err3 = strconv.ParseUint(v, 10, 64)
+		}
+		if err1 != nil || err2 != nil || err3 != nil {
+			writeJSON(w, http.StatusBadRequest, replica.IngestResponse{Error: "bad segment/offset/min"})
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, replica.IngestResponse{Error: err.Error()})
+			return
+		}
+		size, err := set.Ingest(q.Get("primary"), segment, offset, min, data)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, replica.IngestResponse{Size: size})
+		case errors.Is(err, replica.ErrFenced):
+			writeJSON(w, http.StatusGone, replica.IngestResponse{Error: err.Error()})
+		default:
+			var oe *replica.OffsetError
+			if errors.As(err, &oe) {
+				writeJSON(w, http.StatusConflict, replica.IngestResponse{Size: oe.Size, Error: err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, replica.IngestResponse{Error: err.Error()})
+		}
+	})
+
+	mux.HandleFunc("POST /v1/replica/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		set := m.ReplicaSet()
+		if set == nil {
+			writeJSON(w, http.StatusServiceUnavailable, replica.IngestResponse{Error: "replication not configured"})
+			return
+		}
+		q := r.URL.Query()
+		data, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, replica.IngestResponse{Error: err.Error()})
+			return
+		}
+		if err := set.IngestSnapshot(q.Get("primary"), q.Get("hash"), data); err != nil {
+			if errors.Is(err, replica.ErrFenced) {
+				writeJSON(w, http.StatusGone, replica.IngestResponse{Error: err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, replica.IngestResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, replica.IngestResponse{Size: int64(len(data))})
+	})
+
+	mux.HandleFunc("POST /v1/replica/promote", func(w http.ResponseWriter, r *http.Request) {
+		set := m.ReplicaSet()
+		if set == nil {
+			http.Error(w, "replication not configured", http.StatusServiceUnavailable)
+			return
+		}
+		var req struct {
+			Primary string `json:"primary"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		dir, err := set.Promote(req.Primary)
+		if err != nil {
+			if errors.Is(err, replica.ErrNoReplica) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := ExtractHandoff(dir, req.Primary)
+		if err != nil {
+			// Promotion replay failing (e.g. a corrupt sealed replica
+			// segment) must be loud, not a silent empty hand-off.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, toHandoffResponse(rep))
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

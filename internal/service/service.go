@@ -43,6 +43,7 @@ import (
 	"relm/internal/ddpg"
 	"relm/internal/gbo"
 	"relm/internal/profile"
+	"relm/internal/replica"
 	"relm/internal/sim/cluster"
 	"relm/internal/sim/workload"
 	"relm/internal/store"
@@ -116,6 +117,12 @@ type Options struct {
 	// Advertise is the URL this node wants routers and operators to reach
 	// it at; purely informational, surfaced by /healthz.
 	Advertise string
+	// Replica, when non-nil, is this node's WAL replication state (log
+	// shipping out, replica ingest in — see internal/replica). NewHandler
+	// exposes its /v1/replica endpoints and Metrics folds its lag and
+	// ingest counters in. The Manager does not take ownership: the caller
+	// that wired the Set to the store closes it.
+	Replica *replica.Set
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -196,6 +203,21 @@ type Spec struct {
 	// Stats; matched prior observations are rescaled by the ratio of
 	// default runtimes before seeding the optimizer.
 	DefaultRuntimeSec float64
+
+	// Prior explicitly seeds the optimizer with these points, bypassing
+	// repository matching. This is the fail-over hand-off path: a session
+	// re-created after its node died is seeded with the exact points the
+	// lost instance held (its applied warm start, or its own history), so
+	// the successor continues from the same optimizer state instead of
+	// hoping for a repository match. The applied prior is journaled as a
+	// warm event, exactly like a repository warm start, so the re-created
+	// session restores identically from its new node's log.
+	// PriorSource/PriorCluster/PriorDistance carry its provenance into the
+	// session status.
+	Prior         []bo.PriorPoint
+	PriorSource   string
+	PriorCluster  string
+	PriorDistance float64
 }
 
 // Observation is one measured experiment reported to a session.
@@ -624,8 +646,21 @@ func (m *Manager) Create(spec Spec) (Status, error) {
 	// Warm start with a client-supplied fingerprint: match before the
 	// session becomes visible, so its first suggestion is already the
 	// transferred optimum. Auto sessions without a fingerprint profile the
-	// default configuration in the worker instead (drive).
-	if spec.WarmStart && spec.Stats != nil {
+	// default configuration in the worker instead (drive). An explicit
+	// prior (fail-over hand-off) short-circuits the matching and seeds the
+	// given points directly.
+	if len(spec.Prior) > 0 {
+		w := &store.Warm{
+			Source:   spec.PriorSource,
+			Cluster:  spec.PriorCluster,
+			Distance: spec.PriorDistance,
+			Points:   spec.Prior,
+		}
+		if applyWarm(t, w) {
+			s.warm = w
+			m.warmStarts.Add(1)
+		}
+	} else if spec.WarmStart && spec.Stats != nil {
 		if w := m.matchWarm(cl.Name, *spec.Stats, spec.WarmMaxDistance, spec.DefaultRuntimeSec); w != nil {
 			if applyWarm(t, w) {
 				s.warm = w
@@ -1089,6 +1124,10 @@ type Metrics struct {
 	Persistence  bool
 	Store        store.Metrics
 	JournalError string
+	// Replication reports whether a replica.Set is attached; Replica
+	// carries its shipping lag and ingest counters.
+	Replication bool
+	Replica     replica.Stats
 }
 
 // Metrics reports the service's observability counters.
@@ -1131,11 +1170,19 @@ func (m *Manager) Metrics() Metrics {
 		mt.Persistence = true
 		mt.Store = m.opts.Store.Metrics()
 	}
+	if m.opts.Replica != nil {
+		mt.Replication = true
+		mt.Replica = m.opts.Replica.Stats()
+	}
 	if p := m.journalErr.Load(); p != nil {
 		mt.JournalError = *p
 	}
 	return mt
 }
+
+// ReplicaSet returns the node's replication state (nil when replication
+// is not configured).
+func (m *Manager) ReplicaSet() *replica.Set { return m.opts.Replica }
 
 // Repository returns a point-in-time copy of the shared model repository.
 func (m *Manager) Repository() bo.Repository {

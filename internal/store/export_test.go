@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegmentsAndReadSegmentAt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendN(t, s, 20)
+
+	segs := s.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+	for i, seg := range segs {
+		sealed := i < len(segs)-1
+		if seg.Sealed != sealed {
+			t.Fatalf("segment %d: sealed=%v, want %v (only the last may be active)", seg.Index, seg.Sealed, sealed)
+		}
+		if i > 0 && seg.Index <= segs[i-1].Index {
+			t.Fatalf("segment indexes not ascending: %v", segs)
+		}
+		// ReadSegmentAt must hand back exactly the on-disk bytes.
+		disk, err := os.ReadFile(filepath.Join(dir, SegmentFileName(seg.Index)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(disk)) != seg.Bytes {
+			t.Fatalf("segment %d: %d bytes on disk, Segments says %d", seg.Index, len(disk), seg.Bytes)
+		}
+		buf := make([]byte, seg.Bytes)
+		n, err := s.ReadSegmentAt(seg.Index, 0, buf)
+		if err != nil {
+			t.Fatalf("ReadSegmentAt(%d): %v", seg.Index, err)
+		}
+		if !bytes.Equal(buf[:n], disk) {
+			t.Fatalf("segment %d: ReadSegmentAt differs from disk", seg.Index)
+		}
+		// Partial read from an interior offset.
+		if seg.Bytes > 10 {
+			part := make([]byte, 5)
+			if _, err := s.ReadSegmentAt(seg.Index, 5, part); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(part, disk[5:10]) {
+				t.Fatalf("segment %d: offset read differs from disk", seg.Index)
+			}
+		}
+	}
+}
+
+func TestListSegmentFilesMatchesLiveView(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 20)
+	live := s.Segments()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	listed, err := ListSegmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(live) {
+		t.Fatalf("ListSegmentFiles found %d segments, live view had %d", len(listed), len(live))
+	}
+	for i := range listed {
+		if listed[i].Index != live[i].Index || listed[i].Bytes != live[i].Bytes {
+			t.Fatalf("segment %d: listed %+v, live %+v", i, listed[i], live[i])
+		}
+	}
+
+	// A missing directory is an empty listing, not an error — a follower
+	// that never ingested anything for a primary holds nothing.
+	none, err := ListSegmentFiles(filepath.Join(dir, "nope"))
+	if err != nil || len(none) != 0 {
+		t.Fatalf("missing dir: got %v, %v; want empty, nil", none, err)
+	}
+}
+
+func TestReadSnapshotRaw(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if raw, err := s.ReadSnapshotRaw(); err != nil || raw != nil {
+		t.Fatalf("no snapshot yet: got %d bytes, err %v", len(raw), err)
+	}
+	appendN(t, s, 5)
+	if err := s.Compact(&Snapshot{Fence: s.Seq()}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.ReadSnapshotRaw()
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("after compaction: got %d bytes, err %v", len(raw), err)
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, disk) {
+		t.Fatal("ReadSnapshotRaw differs from the on-disk snapshot")
+	}
+}
+
+func TestParseSegmentFileName(t *testing.T) {
+	for name, want := range map[string]uint64{
+		"wal-000001.jsonl": 1,
+		"wal-123456.jsonl": 123456,
+	} {
+		got, ok := ParseSegmentFileName(name)
+		if !ok || got != want {
+			t.Fatalf("ParseSegmentFileName(%q) = %d, %v", name, got, ok)
+		}
+	}
+	for _, name := range []string{"wal.jsonl", "snapshot.json", "wal-.jsonl", "wal-1x.jsonl"} {
+		if _, ok := ParseSegmentFileName(name); ok {
+			t.Fatalf("ParseSegmentFileName(%q) accepted", name)
+		}
+	}
+}

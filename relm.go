@@ -36,6 +36,7 @@ import (
 	"relm/internal/experiments"
 	"relm/internal/gbo"
 	"relm/internal/profile"
+	"relm/internal/replica"
 	"relm/internal/router"
 	"relm/internal/service"
 	"relm/internal/sim"
@@ -342,4 +343,36 @@ type ClusterBackend = router.Backend
 // health checkers; call Close to stop them.
 func NewClusterRouter(opts ClusterRouterOptions) (*ClusterRouter, error) {
 	return router.New(opts)
+}
+
+// ReplicaSet is one node's replication role: shipping its own write-ahead
+// log to rendezvous-chosen follower peers, and ingesting other primaries'
+// logs into local replica directories that a router can promote when a
+// primary dies without draining. Pass it to a ServiceManager via
+// ServiceOptions.Replica; cmd/relm-serve wires it from -replicate-to.
+type ReplicaSet = replica.Set
+
+// ReplicaOptions configures a ReplicaSet (peers, follower factor, replica
+// directory, ship interval).
+type ReplicaOptions = replica.Options
+
+// ReplicaPeer names one replication peer (same identity as the router's
+// ClusterBackend).
+type ReplicaPeer = replica.Peer
+
+// NewReplicaSet starts a node's replication role; call Close to stop the
+// shipper.
+func NewReplicaSet(opts ReplicaOptions) (*ReplicaSet, error) {
+	return replica.New(opts)
+}
+
+// ServiceHandoffReport is what promoting a replica yields: every
+// non-terminal session the dead node held (with full history and a prior
+// for its successor) plus its model repository.
+type ServiceHandoffReport = service.HandoffReport
+
+// ExtractServiceHandoff replays a promoted (fenced) replica directory into
+// a hand-off report, exactly as POST /v1/replica/promote does.
+func ExtractServiceHandoff(dir, node string) (ServiceHandoffReport, error) {
+	return service.ExtractHandoff(dir, node)
 }

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Cluster end-to-end check: build relm-serve + relm-router, boot 2 backends
-# + 1 router, and drive the cluster the way an operator would — a full
-# create/suggest/observe/close session lifecycle through the router, a node
-# drain whose sessions must survive onto the successor via a repository
-# warm start, and a kill-one-backend rerouting check. Every request goes
-# through curl; any non-2xx (where a 2xx is expected) or mismatched session
-# state fails the script.
+# Cluster end-to-end check: build relm-serve + relm-router, boot 3
+# replicating backends + 1 promoting router, and drive the cluster the way
+# an operator would:
+#
+#   phase 1  full create/suggest/observe/close lifecycle through the router
+#   phase 2  kill -9 a live backend (no drain): the router must promote the
+#            dead node's WAL replica on a follower and resume its sessions
+#            under their original IDs — history intact, next suggestion
+#            identical, zero manual intervention
+#   phase 3  drain hand-off with repository warm start onto the survivor
+#   phase 4  corrupt a sealed WAL segment on a scratch node: restart must
+#            fail loudly ("corrupt"), never serve silently shortened data
+#
+# Every request goes through curl; any non-2xx (where a 2xx is expected) or
+# mismatched session state fails the script.
 #
 # CI runs this in the cluster-e2e job; it also runs locally:
 #
@@ -19,6 +27,8 @@ WORK="$(mktemp -d)"
 HOST=127.0.0.1
 PORT_A=18081
 PORT_B=18082
+PORT_C=18083
+PORT_X=18084
 PORT_R=18090
 PIDS=()
 
@@ -76,12 +86,26 @@ mkdir -p "$WORK/bin"
 (cd "$ROOT" && go build -o "$WORK/bin/relm-serve" ./cmd/relm-serve)
 (cd "$ROOT" && go build -o "$WORK/bin/relm-router" ./cmd/relm-router)
 
-# start_backend NAME PORT — (re)starts one relm-serve node on its
-# persistent data dir and records its PID in PID_<NAME>.
+url_of() {
+    case $1 in
+    a) echo "http://$HOST:$PORT_A" ;;
+    b) echo "http://$HOST:$PORT_B" ;;
+    c) echo "http://$HOST:$PORT_C" ;;
+    esac
+}
+
+# start_backend NAME PORT — (re)starts one replicating relm-serve node on
+# its persistent data dir and records its PID in PID_<NAME>.
 start_backend() {
-    local name=$1 port=$2
+    local name=$1 port=$2 peers=""
+    for other in a b c; do
+        [ "$other" = "$name" ] && continue
+        peers+="${peers:+,}$other=$(url_of "$other")"
+    done
     "$WORK/bin/relm-serve" -addr "$HOST:$port" -node-id "$name" \
         -advertise "http://$HOST:$port" -data-dir "$WORK/data-$name" \
+        -wal-segment-bytes 4096 \
+        -replicate-to "$peers" -replicate-every 100ms \
         -workers 1 >>"$WORK/serve-$name.log" 2>&1 &
     local pid=$!
     PIDS+=("$pid")
@@ -100,17 +124,19 @@ wait_healthy() {
     done
 }
 
-log "booting backends a (:$PORT_A) and b (:$PORT_B) and the router (:$PORT_R)"
+log "booting backends a (:$PORT_A), b (:$PORT_B), c (:$PORT_C) and the router (:$PORT_R)"
 start_backend a "$PORT_A"
 start_backend b "$PORT_B"
+start_backend c "$PORT_C"
 "$WORK/bin/relm-router" -addr "$HOST:$PORT_R" \
-    -backends "a=http://$HOST:$PORT_A,b=http://$HOST:$PORT_B" \
-    -check-interval 250ms -check-backoff-max 2s -fail-after 2 >"$WORK/router.log" 2>&1 &
+    -backends "a=http://$HOST:$PORT_A,b=http://$HOST:$PORT_B,c=http://$HOST:$PORT_C" \
+    -check-interval 250ms -check-backoff-max 2s -fail-after 2 \
+    -promote >"$WORK/router.log" 2>&1 &
 PIDS+=($!)
 R="http://$HOST:$PORT_R"
 
-log "waiting for the router to see 2 healthy backends"
-wait_healthy 2
+log "waiting for the router to see 3 healthy backends"
+wait_healthy 3
 
 # ---------------------------------------------------------------- phase 1
 log "phase 1: full session lifecycle through the router"
@@ -135,42 +161,71 @@ expect 404 GET "$R/v1/sessions/$SID" >/dev/null
 log "  lifecycle ok (create -> 3x suggest/observe -> history -> close)"
 
 # ---------------------------------------------------------------- phase 2
-log "phase 2: kill one live backend, router reroutes around it"
+log "phase 2: kill a live backend without draining; replica promotion must resume its sessions"
 KILLED=$(expect 201 POST "$R/v1/sessions" '{"backend":"bo","workload":"PageRank","seed":21,"max_iterations":25}')
 KSID=$(jqget "$KILLED" .id)
 KNODE=$(jqget "$KILLED" .node)
-if [ "$KNODE" = "a" ]; then KOTHER=b; else KOTHER=a; fi
 for i in 1 2; do
     SUG=$(expect 200 POST "$R/v1/sessions/$KSID/suggest")
     CFG=$(jqget "$SUG" .config)
     expect 200 POST "$R/v1/sessions/$KSID/observe" "{\"config\":$CFG,\"runtime_sec\":$((180 + i))}" >/dev/null
 done
-log "  session $KSID (evals=2) homed on $KNODE; killing $KNODE without a drain"
+HIST_PRE=$(expect 200 GET "$R/v1/sessions/$KSID/history")
+# Leave a suggestion outstanding: the kill lands mid-protocol, and the
+# successor must produce this exact configuration again.
+SUG_PRE=$(jqget "$(expect 200 POST "$R/v1/sessions/$KSID/suggest")" .config)
+
+sleep 1 # a few -replicate-every periods: let the WAL tail reach the follower
+log "  session $KSID (evals=2, suggestion outstanding) homed on $KNODE; kill -9 $KNODE"
 eval "KILL_PID=\$PID_$KNODE"
 kill -9 "$KILL_PID"
 wait "$KILL_PID" 2>/dev/null || true
-wait_healthy 1
 
-# The dead node's session rehashes to the survivor, which never saw it:
-# 404 is the documented answer — not a hang, not a 502.
-expect 404 GET "$R/v1/sessions/$KSID" >/dev/null
+log "  waiting for automatic promotion"
+# Poll for last_promotion, not promotions_total: the counter ticks at the
+# fence, but the report only lands once every session is re-created.
+for i in $(seq 1 120); do
+    PROMO_NODE=$(req GET "$R/v1/cluster" | jq -r '.last_promotion.node // empty')
+    [ "$PROMO_NODE" = "$KNODE" ] && break
+    [ "$i" = 120 ] && fail "router never promoted after $KNODE died"
+    sleep 0.25
+done
+CLUSTER=$(req GET "$R/v1/cluster")
+PROMO_NODE=$(jqget "$CLUSTER" .last_promotion.node)
+PROMO_HOLDER=$(jqget "$CLUSTER" .last_promotion.holder)
+[ "$PROMO_NODE" = "$KNODE" ] || fail "promotion report names $PROMO_NODE, want $KNODE"
+[ "$(jqget "$CLUSTER" ".nodes[] | select(.name == \"$KNODE\") | .promoted")" = "true" ] \
+    || fail "dead node $KNODE not marked promoted: $CLUSTER"
+log "  replica of $KNODE promoted on $PROMO_HOLDER"
+
+# The session answers under its original ID on a survivor, with its exact
+# history and the exact next suggestion the dead node would have produced.
+ST=$(expect 200 GET "$R/v1/sessions/$KSID")
+NEWNODE=$(jqget "$ST" .node)
+[ "$NEWNODE" != "$KNODE" ] || fail "session $KSID still reports the dead node"
+[ "$(jqget "$ST" .evals)" = "2" ] || fail "session $KSID lost observations: evals=$(jqget "$ST" .evals), want 2"
+HIST_POST=$(expect 200 GET "$R/v1/sessions/$KSID/history")
+[ "$(echo "$HIST_PRE" | jq -S .)" = "$(echo "$HIST_POST" | jq -S .)" ] \
+    || fail "history changed across fail-over: pre=$HIST_PRE post=$HIST_POST"
+SUG_POST=$(jqget "$(expect 200 POST "$R/v1/sessions/$KSID/suggest")" .config)
+[ "$(echo "$SUG_PRE" | jq -S .)" = "$(echo "$SUG_POST" | jq -S .)" ] \
+    || fail "successor suggests $SUG_POST, dead node would have suggested $SUG_PRE"
+log "  session $KSID resumed on $NEWNODE: history bit-identical, next suggestion identical"
+
+# The cluster keeps serving: creates land on survivors, merged reads and
+# replication counters cover the 2 live nodes.
 for i in 1 2 3; do
     ST=$(expect 201 POST "$R/v1/sessions" "{\"backend\":\"bo\",\"workload\":\"WordCount\",\"seed\":$i}")
-    [ "$(jqget "$ST" .node)" = "$KOTHER" ] || fail "create after kill landed on $(jqget "$ST" .node), want $KOTHER"
+    [ "$(jqget "$ST" .node)" != "$KNODE" ] || fail "create after kill landed on dead $KNODE"
 done
-expect 200 GET "$R/v1/sessions" >/dev/null
 MET=$(expect 200 GET "$R/v1/metrics")
-[ "$(jqget "$MET" .nodes)" = "1" ] || fail "metrics after kill merged $(jqget "$MET" .nodes) nodes, want 1"
-expect 200 GET "$R/healthz" >/dev/null
-log "  router routed around dead $KNODE: rehash 404 for its session, creates/reads flow via $KOTHER"
-
-log "  restarting $KNODE from its data dir"
-start_backend "$KNODE" "$(if [ "$KNODE" = "a" ]; then echo "$PORT_A"; else echo "$PORT_B"; fi)"
-wait_healthy 2
-ST=$(expect 200 GET "$R/v1/sessions/$KSID")
-[ "$(jqget "$ST" .node)" = "$KNODE" ] || fail "restored session served by $(jqget "$ST" .node), want $KNODE"
-[ "$(jqget "$ST" .evals)" = "2" ] || fail "restored session lost history: evals=$(jqget "$ST" .evals), want 2"
-log "  $KNODE rejoined: session $KSID resurrected from its WAL with evals intact"
+[ "$(jqget "$MET" .nodes)" = "2" ] || fail "metrics after kill merged $(jqget "$MET" .nodes) nodes, want 2"
+[ "$(jqget "$MET" .totals.replica_promotions)" -ge 1 ] || fail "metrics missing replica_promotions: $MET"
+[ "$(jqget "$MET" '.router.promotions_total')" -ge 1 ] || fail "router metrics missing promotions_total: $MET"
+log "  cluster of 2 survivors serving; replication/promotion counters merged in /v1/metrics"
+# Note: the killed node is NOT restarted. Its replica was promoted — a
+# revived process would hold stale state (see README: wipe its data dir
+# before rejoining).
 
 # ---------------------------------------------------------------- phase 3
 log "phase 3: drain hand-off with repository warm start"
@@ -179,7 +234,12 @@ CREATED=$(expect 201 POST "$R/v1/sessions" \
     "{\"backend\":\"gbo\",\"workload\":\"K-means\",\"seed\":3,\"max_iterations\":40,\"warm_start\":true,\"stats\":$STATS,\"default_runtime_sec\":240}")
 SID=$(jqget "$CREATED" .id)
 DHOME=$(jqget "$CREATED" .node)
-if [ "$DHOME" = "a" ]; then SUCC=b; else SUCC=a; fi
+SUCC=""
+for n in a b c; do
+    [ "$n" = "$DHOME" ] && continue
+    [ "$n" = "$KNODE" ] && continue
+    SUCC=$n
+done
 log "  session $SID homed on $DHOME; draining it, successor should be $SUCC"
 
 for i in 1 2 3 4; do
@@ -203,11 +263,41 @@ ST=$(expect 200 GET "$R/v1/sessions/$SID")
 expect 200 POST "$R/v1/sessions/$SID/suggest" >/dev/null
 log "  session $SID survived the drain of $DHOME: warm-started on $SUCC (source $(jqget "$ST" .warm_source))"
 
-# New sessions must land on the survivor only, and merged reads must
+# New sessions must land on the last live node only, and merged reads must
 # exclude the draining node.
 POST_DRAIN=$(expect 201 POST "$R/v1/sessions" '{"backend":"bo","workload":"PageRank","seed":5}')
 [ "$(jqget "$POST_DRAIN" .node)" = "$SUCC" ] || fail "post-drain create landed on $(jqget "$POST_DRAIN" .node)"
 MET=$(expect 200 GET "$R/v1/metrics")
 [ "$(jqget "$MET" .nodes)" = "1" ] || fail "metrics after drain merged $(jqget "$MET" .nodes) nodes, want 1"
+
+# ---------------------------------------------------------------- phase 4
+log "phase 4: sealed-segment corruption fails a restart loudly"
+"$WORK/bin/relm-serve" -addr "$HOST:$PORT_X" -node-id x \
+    -data-dir "$WORK/data-x" -wal-segment-bytes 512 \
+    -workers 1 >"$WORK/serve-x.log" 2>&1 &
+XPID=$!
+PIDS+=("$XPID")
+X="http://$HOST:$PORT_X"
+for i in $(seq 1 120); do
+    [ "$(req GET "$X/healthz" | jq -r '.ok' 2>/dev/null)" = "true" ] && break
+    [ "$i" = 120 ] && fail "scratch node never came up"
+    sleep 0.25
+done
+for i in $(seq 1 8); do
+    expect 201 POST "$X/v1/sessions" "{\"backend\":\"bo\",\"workload\":\"PageRank\",\"seed\":$i}" >/dev/null
+done
+kill -9 "$XPID"
+wait "$XPID" 2>/dev/null || true
+SEALED="$WORK/data-x/wal-000001.jsonl"
+[ -f "$SEALED" ] || fail "scratch node never rolled a sealed segment"
+printf 'x' | dd of="$SEALED" bs=1 count=1 conv=notrunc 2>/dev/null
+if timeout 15 "$WORK/bin/relm-serve" -addr "$HOST:$PORT_X" -node-id x \
+    -data-dir "$WORK/data-x" -wal-segment-bytes 512 \
+    -workers 1 >"$WORK/serve-x-restart.log" 2>&1; then
+    fail "restart over a corrupt sealed segment succeeded"
+fi
+grep -qi corrupt "$WORK/serve-x-restart.log" \
+    || fail "corruption refusal did not say why: $(cat "$WORK/serve-x-restart.log")"
+log "  corrupt sealed segment refused with: $(grep -i corrupt "$WORK/serve-x-restart.log" | head -1)"
 
 log "PASS"
