@@ -14,7 +14,15 @@
 //	            [-addr :8090] [-check-interval 2s] [-check-backoff-max 30s] \
 //	            [-fail-after 2] [-timeout 15s] [-retry-budget 2] \
 //	            [-breaker-threshold 3] [-breaker-probe 1s] [-breaker-probe-max 30s] \
-//	            [-promote]
+//	            [-promote] [-log-level info] [-slow-log 0] [-pprof-addr ""]
+//
+// Observability: the router times its own stages (placement pick, each
+// proxy hop, fan-outs) into latency histograms exposed on GET /metrics
+// (Prometheus text, router-local: backend gauges, breaker counters,
+// stage latencies). It mints a trace ID per request, propagates it to
+// the backends via X-Relm-Trace, and keeps its own span ring at GET
+// /v1/traces; -slow-log logs slow requests span-by-span and -pprof-addr
+// serves net/http/pprof on a side port.
 //
 // Each backend has a circuit breaker on the data path: after
 // -breaker-threshold consecutive transport failures it stops receiving
@@ -44,12 +52,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"relm/internal/obs"
 	"relm/internal/router"
 )
 
@@ -66,8 +76,22 @@ func main() {
 		brProbe    = flag.Duration("breaker-probe", time.Second, "initial open-breaker probe delay (doubles per failed probe)")
 		brProbeMax = flag.Duration("breaker-probe-max", 30*time.Second, "open-breaker probe delay cap")
 		promote    = flag.Bool("promote", false, "enable automatic fail-over: promote a dead backend's WAL replica and re-create its sessions on the survivors")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowLog    = flag.Duration("slow-log", 0, "log any request slower than this span-by-span (0 = off)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger("router", obs.ParseLevel(*logLevel))
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	bs, err := parseBackends(*backends)
 	if err != nil {
@@ -84,7 +108,8 @@ func main() {
 		BreakerProbe:     *brProbe,
 		BreakerProbeMax:  *brProbeMax,
 		Promote:          *promote,
-		Logf:             log.Printf,
+		Logf:             logger.Logf(obs.LevelInfo),
+		SlowLog:          *slowLog,
 	})
 	if err != nil {
 		log.Fatalf("start router: %v", err)
@@ -102,11 +127,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("relm-router listening on %s (%d backends, check-interval=%s)", *addr, len(bs), *checkIvl)
+	logger.Info("relm-router listening", "addr", *addr, "backends", len(bs), "check_interval", *checkIvl)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

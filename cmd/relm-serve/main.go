@@ -28,6 +28,18 @@
 //	           [-replicate-to b=http://10.0.0.2:8080,c=http://10.0.0.3:8080]
 //	           [-replica-dir <data-dir>/replicas] [-replicate-every 500ms]
 //	           [-replica-factor 1]
+//	           [-log-level info] [-slow-log 0] [-pprof-addr ""]
+//
+// Observability: every hot stage (suggest/observe/create, surrogate
+// append vs. refit, acquisition scoring, WAL append and group-commit
+// flush wait, replica ship/ingest) is timed into lock-free latency
+// histograms, exposed as percentile digests on GET /v1/metrics and in
+// Prometheus text form on GET /metrics. Every request carries a trace
+// (X-Relm-Trace, minted here or adopted from the router) whose timed
+// spans land in the GET /v1/traces ring; -slow-log logs any request
+// slower than the threshold span-by-span, and -pprof-addr serves
+// net/http/pprof on a side port. Logs are leveled key=value lines
+// filtered by -log-level.
 //
 // In a multi-node cluster each node runs with a unique -node-id (session
 // IDs become "<node>-sess-N", unique without coordination) and a
@@ -58,6 +70,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"relm/internal/obs"
 	"relm/internal/replica"
 	"relm/internal/service"
 	"relm/internal/store"
@@ -89,8 +103,27 @@ func main() {
 		replicaDir   = flag.String("replica-dir", "", "directory for ingesting other primaries' replicas (default <data-dir>/replicas)")
 		replicateIvl = flag.Duration("replicate-every", 500*time.Millisecond, "log-shipping interval: how often the active segment tail and new sealed segments are shipped to followers")
 		replicaN     = flag.Int("replica-factor", 1, "followers per primary (1 or 2): how many rendezvous-chosen peers receive this node's log")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowLog      = flag.Duration("slow-log", 0, "log any request slower than this span-by-span (0 = off)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	logNode := *nodeID
+	if logNode == "" {
+		logNode = "serve"
+	}
+	logger := obs.NewLogger(logNode, obs.ParseLevel(*logLevel))
+	reg := obs.NewRegistry()
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	opts := service.Options{
 		TTL:             *ttl,
@@ -101,6 +134,9 @@ func main() {
 		RepoCapacity:    *repoCap,
 		NodeID:          *nodeID,
 		Advertise:       *advertise,
+		Obs:             reg,
+		SlowLog:         *slowLog,
+		SlowLogf:        logger.Logf(obs.LevelWarn),
 	}
 	var st *store.File
 	if *dataDir != "" {
@@ -109,6 +145,8 @@ func main() {
 			SyncEachAppend: *fsync,
 			SegmentBytes:   *segmentBytes,
 			CommitInterval: *commitIvl,
+			AppendHist:     reg.Histogram("wal.append"),
+			FlushWaitHist:  reg.Histogram("wal.flush_wait"),
 		})
 		if err != nil {
 			log.Fatalf("open store: %v", err)
@@ -129,13 +167,15 @@ func main() {
 			dir = filepath.Join(*dataDir, "replicas")
 		}
 		set, err := replica.New(replica.Options{
-			Self:     *nodeID,
-			Peers:    peers,
-			Factor:   *replicaN,
-			Dir:      dir,
-			Source:   st,
-			Interval: *replicateIvl,
-			Logf:     log.Printf,
+			Self:       *nodeID,
+			Peers:      peers,
+			Factor:     *replicaN,
+			Dir:        dir,
+			Source:     st,
+			Interval:   *replicateIvl,
+			Logf:       logger.Logf(obs.LevelInfo),
+			ShipHist:   reg.Histogram("replica.ship"),
+			IngestHist: reg.Histogram("replica.ingest"),
 		})
 		if err != nil {
 			log.Fatalf("start replication: %v", err)
@@ -146,7 +186,7 @@ func main() {
 		for _, p := range replica.Followers(*nodeID, peers, *replicaN) {
 			followers = append(followers, p.Name)
 		}
-		log.Printf("replicating WAL to %v every %s (ingest dir %s)", followers, *replicateIvl, dir)
+		logger.Info("replicating WAL", "followers", fmt.Sprintf("%v", followers), "interval", *replicateIvl, "ingest_dir", dir)
 	}
 
 	m, err := service.Open(opts)
@@ -156,8 +196,8 @@ func main() {
 	defer m.Close()
 	if *dataDir != "" {
 		mt := m.Metrics()
-		log.Printf("restored %d sessions (%d observations, %d repository models) from %s",
-			mt.Sessions, mt.Observations, mt.RepoEntries, *dataDir)
+		logger.Info("restored sessions", "sessions", mt.Sessions, "observations", mt.Observations,
+			"repo_models", mt.RepoEntries, "dir", *dataDir)
 	}
 
 	srv := &http.Server{
@@ -171,11 +211,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("relm-serve listening on %s (node=%q workers=%d ttl=%s data-dir=%q)", *addr, *nodeID, *workers, *ttl, *dataDir)
+	logger.Info("relm-serve listening", "addr", *addr, "node", *nodeID, "workers", *workers, "ttl", *ttl, "data_dir", *dataDir)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

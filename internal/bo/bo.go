@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"relm/internal/conf"
+	"relm/internal/obs"
 	"relm/internal/tune"
 )
 
@@ -54,6 +55,12 @@ type Options struct {
 	Prior []PriorPoint
 	// Seed drives the acquisition sampling.
 	Seed uint64
+	// SurrogateAppendHist, SurrogateRefitHist, and AcquisitionHist, when
+	// set, record per-stage latency: incremental GP appends, full
+	// hyperparameter re-selections, and EI maximization respectively.
+	SurrogateAppendHist *obs.Histogram
+	SurrogateRefitHist  *obs.Histogram
+	AcquisitionHist     *obs.Histogram
 }
 
 func (o *Options) fill() {

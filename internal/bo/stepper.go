@@ -2,6 +2,7 @@ package bo
 
 import (
 	"math"
+	"time"
 
 	"relm/internal/conf"
 	"relm/internal/gp"
@@ -87,6 +88,8 @@ func NewTuner(sp tune.Space, opts Options, extra Extra, penalty Penalty) *Tuner 
 			BaseDims:   sp.Dim(),
 			RefitEvery: opts.RefitEvery,
 			LMLDrift:   opts.RefitDrift,
+			AppendHist: opts.SurrogateAppendHist,
+			RefitHist:  opts.SurrogateRefitHist,
 		}
 	}
 
@@ -231,7 +234,14 @@ func (t *Tuner) advance() {
 			tau = p.Y
 		}
 	}
+	var acqStart time.Time
+	if t.opts.AcquisitionHist != nil {
+		acqStart = time.Now()
+	}
 	x, ei := t.maximizeEI(model, tau)
+	if !acqStart.IsZero() {
+		t.opts.AcquisitionHist.Record(time.Since(acqStart))
+	}
 	if x == nil {
 		t.done = true
 		return

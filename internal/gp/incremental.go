@@ -1,5 +1,11 @@
 package gp
 
+import (
+	"time"
+
+	"relm/internal/obs"
+)
+
 // Incremental maintains a grid-tuned GP over a growing observation set,
 // absorbing new points through O(n²) Append and throttling the O(n³)
 // hyperparameter grid search (FitBestGrouped) to a schedule: every
@@ -25,6 +31,11 @@ type Incremental struct {
 	// has dropped this much since the last selection (default 0.25; ≤0
 	// disables the drift trigger).
 	LMLDrift float64
+	// AppendHist/RefitHist, when set, record the latency of the
+	// incremental-append path vs. the full grid re-selection, so a slow
+	// observe can be attributed to the right half of the surrogate.
+	AppendHist *obs.Histogram
+	RefitHist  *obs.Histogram
 
 	gp      *GP
 	appends int
@@ -57,12 +68,19 @@ func (inc *Incremental) SetData(xs [][]float64, ys []float64) (*GP, error) {
 	if inc.appends+(len(xs)-len(g.xs)) >= inc.RefitEvery {
 		return inc.refit(xs, ys)
 	}
+	var appendStart time.Time
+	if inc.AppendHist != nil && len(xs) > len(g.xs) {
+		appendStart = time.Now()
+	}
 	for i := len(g.xs); i < len(xs); i++ {
 		if err := g.Append(xs[i], ys[i]); err != nil {
 			return inc.refit(xs, ys)
 		}
 		inc.appends++
 		inc.appendsTotal++
+	}
+	if !appendStart.IsZero() {
+		inc.AppendHist.Record(time.Since(appendStart))
 	}
 	if inc.LMLDrift > 0 && g.N() > 0 {
 		if inc.selLML-g.LogMarginalLikelihood()/float64(g.N()) > inc.LMLDrift {
@@ -108,7 +126,14 @@ func (inc *Incremental) prefixUnchanged(xs [][]float64, ys []float64) bool {
 }
 
 func (inc *Incremental) refit(xs [][]float64, ys []float64) (*GP, error) {
+	var start time.Time
+	if inc.RefitHist != nil {
+		start = time.Now()
+	}
 	g, err := FitBestGrouped(inc.Kind, xs, ys, inc.BaseDims)
+	if !start.IsZero() {
+		inc.RefitHist.Record(time.Since(start))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"relm/internal/obs"
 	"relm/internal/store"
 )
 
@@ -88,6 +89,11 @@ type Options struct {
 	Client *http.Client
 	// Logf, when non-nil, receives replication log lines.
 	Logf func(format string, args ...any)
+	// ShipHist, when set, records the latency of each ship cycle (one
+	// shipOnce pass across all followers); IngestHist records each ingest
+	// append/snapshot install on the follower side.
+	ShipHist   *obs.Histogram
+	IngestHist *obs.Histogram
 }
 
 func (o *Options) fill() {
@@ -247,6 +253,10 @@ func (s *Set) primary(name string, create bool) (*primaryState, error) {
 // compacted away on the primary (their events are folded into the shipped
 // snapshot) and are pruned here.
 func (s *Set) Ingest(primaryName string, segment uint64, offset int64, min uint64, data []byte) (int64, error) {
+	if s.opts.IngestHist != nil {
+		start := time.Now()
+		defer func() { s.opts.IngestHist.Record(time.Since(start)) }()
+	}
 	if segment == 0 {
 		return 0, errors.New("replica: segment index must be >= 1")
 	}
@@ -316,6 +326,10 @@ func (s *Set) pruneLocked(p *primaryState, min uint64) {
 // holds a torn snapshot. hash is the shipper's content hash, echoed back
 // on status so the shipper skips unchanged snapshots.
 func (s *Set) IngestSnapshot(primaryName string, hash string, data []byte) error {
+	if s.opts.IngestHist != nil {
+		start := time.Now()
+		defer func() { s.opts.IngestHist.Record(time.Since(start)) }()
+	}
 	p, err := s.primary(primaryName, true)
 	if err != nil {
 		return err

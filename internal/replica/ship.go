@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"relm/internal/obs"
 )
 
 // The shipper half of a Set: one background loop that, every Interval,
@@ -165,7 +167,9 @@ func (s *Set) SyncNow() error {
 // promoted our replica, so there is nothing left to ship it.
 var errPromotedAway = errors.New("replica: follower promoted our replica")
 
-// shipOnce brings one follower up to date with the local log.
+// shipOnce brings one follower up to date with the local log. Each cycle
+// carries one trace ID on its requests, so the follower's ingest traces
+// group a whole catch-up pass under one identifier.
 func (s *Set) shipOnce(f *followerState) error {
 	f.mu.Lock()
 	fenced := f.fenced
@@ -173,7 +177,14 @@ func (s *Set) shipOnce(f *followerState) error {
 	if fenced {
 		return nil
 	}
-	err := s.shipDelta(f)
+	var start time.Time
+	if s.opts.ShipHist != nil {
+		start = time.Now()
+	}
+	err := s.shipDelta(f, obs.MintTraceID())
+	if !start.IsZero() {
+		s.opts.ShipHist.Record(time.Since(start))
+	}
 	if errors.Is(err, errPromotedAway) {
 		return nil
 	}
@@ -183,8 +194,8 @@ func (s *Set) shipOnce(f *followerState) error {
 	return err
 }
 
-func (s *Set) shipDelta(f *followerState) error {
-	st, err := s.fetchStatus(f)
+func (s *Set) shipDelta(f *followerState, trace string) error {
+	st, err := s.fetchStatus(f, trace)
 	if err != nil {
 		return err
 	}
@@ -209,7 +220,7 @@ func (s *Set) shipDelta(f *followerState) error {
 	if len(snap) > 0 {
 		h := hashHex(snap)
 		if mine == nil || mine.SnapshotHash != h {
-			if err := s.shipSnapshot(f, h, snap); err != nil {
+			if err := s.shipSnapshot(f, trace, h, snap); err != nil {
 				return err
 			}
 		}
@@ -242,7 +253,7 @@ func (s *Set) shipDelta(f *followerState) error {
 				}
 				return err
 			}
-			size, err := s.shipChunk(f, seg.Index, off, min, buf[:read])
+			size, err := s.shipChunk(f, trace, seg.Index, off, min, buf[:read])
 			if err != nil {
 				var oe *OffsetError
 				if errors.As(err, &oe) && oe.Size != off {
@@ -298,9 +309,14 @@ func (s *Set) fence(f *followerState) {
 	}
 }
 
-func (s *Set) fetchStatus(f *followerState) (*StatusResponse, error) {
+func (s *Set) fetchStatus(f *followerState, trace string) (*StatusResponse, error) {
 	u := f.peer.URL + "/v1/replica/status?primary=" + url.QueryEscape(s.opts.Self)
-	resp, err := s.opts.Client.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := s.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -319,25 +335,31 @@ func (s *Set) fetchStatus(f *followerState) (*StatusResponse, error) {
 	return &st, nil
 }
 
-func (s *Set) shipSnapshot(f *followerState, hash string, data []byte) error {
+func (s *Set) shipSnapshot(f *followerState, trace string, hash string, data []byte) error {
 	u := f.peer.URL + "/v1/replica/snapshot?primary=" + url.QueryEscape(s.opts.Self) + "&hash=" + hash
-	_, err := s.post(f, u, data)
+	_, err := s.post(f, trace, u, data)
 	return err
 }
 
-func (s *Set) shipChunk(f *followerState, segment uint64, offset int64, min uint64, data []byte) (int64, error) {
+func (s *Set) shipChunk(f *followerState, trace string, segment uint64, offset int64, min uint64, data []byte) (int64, error) {
 	u := f.peer.URL + "/v1/replica/segments?primary=" + url.QueryEscape(s.opts.Self) +
 		"&segment=" + strconv.FormatUint(segment, 10) +
 		"&offset=" + strconv.FormatInt(offset, 10) +
 		"&min=" + strconv.FormatUint(min, 10)
-	return s.post(f, u, data)
+	return s.post(f, trace, u, data)
 }
 
 // post issues one ingest request and interprets the protocol statuses:
 // 200 acks with the new size, 409 is an offset mismatch carrying the size
 // to resume from, 410 means the replica was promoted out from under us.
-func (s *Set) post(f *followerState, u string, data []byte) (int64, error) {
-	resp, err := s.opts.Client.Post(u, "application/octet-stream", bytes.NewReader(data))
+func (s *Set) post(f *followerState, trace string, u string, data []byte) (int64, error) {
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := s.opts.Client.Do(req)
 	if err != nil {
 		return 0, err
 	}

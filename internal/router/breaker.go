@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"time"
+
+	"relm/internal/obs"
 )
 
 // Per-backend circuit breaker over the data path (proxying and fan-outs).
@@ -142,7 +144,10 @@ func (r *Router) sendTracked(client *http.Client, req *http.Request, n *node, me
 	if !n.brAcquire(time.Now()) {
 		return 0, nil, nil, errBreakerOpen
 	}
+	start := time.Now()
 	status, buf, hdr, err := r.send(client, req, n, method, path, query, body)
+	r.histProxy.Record(time.Since(start))
+	obs.TraceFrom(req.Context()).AddSpan("proxy "+n.name, start)
 	if err != nil {
 		if st := n.brFailure(r.opts.BreakerThreshold, r.opts.BreakerProbe, r.opts.BreakerProbeMax, time.Now()); st >= 0 {
 			r.logf("router: node %s breaker %s (%v)", n.name, breakerWord(st), err)

@@ -226,22 +226,26 @@ func TestBreakerIsolatesBlackholedBackend(t *testing.T) {
 	tc.waitHealthy(t, 2)
 
 	// Metrics fan-out touches every node; each round burns one timeout on
-	// the black hole and answers 502 (loud partial failure) until the
-	// breaker opens — then the node is excluded like an unhealthy one and
-	// the merge recovers.
+	// the black hole and answers 200 partial with b in the failed map —
+	// loud, but not blinding monitoring to the healthy node — until the
+	// breaker opens; then the node is excluded like an unhealthy one.
 	b := r.nodeByName("b")
-	saw502 := false
+	sawPartial := false
 	deadline := time.Now().Add(5 * time.Second)
 	for b.snapshot().Breaker != "open" {
 		if time.Now().After(deadline) {
 			t.Fatalf("breaker never opened on the black hole: %+v", b.snapshot())
 		}
-		code, _ := tc.do(t, http.MethodGet, "/v1/metrics", nil, nil)
-		saw502 = saw502 || code == http.StatusBadGateway
+		var pm struct {
+			Partial bool              `json:"partial"`
+			Failed  map[string]string `json:"failed"`
+		}
+		code, _ := tc.do(t, http.MethodGet, "/v1/metrics", nil, &pm)
+		sawPartial = sawPartial || (code == http.StatusOK && pm.Partial && pm.Failed["b"] != "")
 		time.Sleep(20 * time.Millisecond) // let the health check re-admit b between rounds
 	}
-	if !saw502 {
-		t.Fatal("black-holed fan-outs never surfaced a loud partial failure")
+	if !sawPartial {
+		t.Fatal("black-holed fan-outs never surfaced a flagged partial merge")
 	}
 	if got := b.snapshot(); got.BreakerOpens != 1 {
 		t.Fatalf("breaker opens: %+v", got)

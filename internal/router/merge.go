@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
+	"relm/internal/obs"
 	"relm/internal/service"
 )
 
@@ -16,6 +18,9 @@ import (
 // eligible node, merge — and the drain orchestration. Merges are
 // all-or-nothing: a backend failing mid-fan-out yields 502 with per-node
 // detail, never a silent partial merge that under-reports the cluster.
+// The one exception is /v1/metrics: monitoring must keep seeing the
+// reachable majority while a node is down, so it merges what answered and
+// flags the rest (partial: true) instead of failing the whole scrape.
 
 // nodeResult is one backend's answer to a fan-out request.
 type nodeResult struct {
@@ -42,6 +47,8 @@ func emptyIs503(w http.ResponseWriter, results []nodeResult) bool {
 // dropped from the merge — the same exclusion the placement filter applies
 // before the fan-out, not a silent partial failure.
 func (r *Router) fanout(req *http.Request, method, path string, body []byte) []nodeResult {
+	start := time.Now()
+	defer func() { r.histFanout.Record(time.Since(start)) }()
 	nodes := r.eligibleNodes()
 	results := make([]nodeResult, len(nodes))
 	var wg sync.WaitGroup
@@ -138,25 +145,37 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 }
 
 // handleMetrics merges every node's /v1/metrics: numeric counters summed
-// into totals, per-state session counts summed, and each node's raw
-// snapshot kept under per_node.
+// into totals, per-state session counts summed, per-stage histograms
+// merged bucket-wise into cluster-exact latency digests, and each node's
+// raw snapshot kept under per_node.
+//
+// Unlike the other fan-outs this merge is partial, not all-or-nothing: a
+// node that errored, answered non-200, or was skipped because its breaker
+// is open lands in the failed map and flips partial to true, while the
+// nodes that answered still merge — a single sick backend must not blind
+// monitoring to the rest of the cluster. 502 only when nothing answered.
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	results := r.fanout(req, http.MethodGet, "/v1/metrics", nil)
-	if emptyIs503(w, results) {
-		return
-	}
-	if errs := r.gatherErrors(results); errs != nil {
-		writePartialFailure(w, errs)
-		return
-	}
 	totals := make(map[string]float64)
 	byState := make(map[string]float64)
 	perNode := make(map[string]json.RawMessage, len(results))
+	stageSnaps := make(map[string]obs.Snapshot)
+	failed := make(map[string]string)
+	merged := 0
 	for _, res := range results {
+		switch {
+		case res.err != nil:
+			res.node.suspect(res.err, r.opts.FailAfter)
+			failed[res.node.name] = res.err.Error()
+			continue
+		case res.status != http.StatusOK:
+			failed[res.node.name] = fmt.Sprintf("status %d: %s", res.status, truncate(res.body, 200))
+			continue
+		}
 		var mt map[string]any
 		if err := json.Unmarshal(res.body, &mt); err != nil {
-			writePartialFailure(w, map[string]string{res.node.name: "bad metrics body: " + err.Error()})
-			return
+			failed[res.node.name] = "bad metrics body: " + err.Error()
+			continue
 		}
 		for k, v := range mt {
 			switch val := v.(type) {
@@ -172,7 +191,49 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 				}
 			}
 		}
+		// Stage histograms merge bucket-wise — exact, unlike merging the
+		// per-node percentile digests would be.
+		var sh struct {
+			StageHist map[string]service.StageHistJSON `json:"stage_hist"`
+		}
+		if err := json.Unmarshal(res.body, &sh); err == nil {
+			for stage, h := range sh.StageHist {
+				var snap obs.Snapshot
+				snap.Count, snap.SumNs = h.Count, h.SumNs
+				copy(snap.Buckets[:], h.Buckets)
+				cur := stageSnaps[stage]
+				cur.Merge(snap)
+				stageSnaps[stage] = cur
+			}
+		}
 		perNode[res.node.name] = json.RawMessage(res.body)
+		merged++
+	}
+	// Nodes the placement filter excluded before the fan-out never appear
+	// in results at all; a healthy, non-draining node missing from the
+	// merge can only mean its breaker is open.
+	for _, n := range r.nodes {
+		if _, ok := perNode[n.name]; ok {
+			continue
+		}
+		if _, ok := failed[n.name]; ok {
+			continue
+		}
+		if n.eligible() {
+			failed[n.name] = "breaker open"
+		}
+	}
+	if merged == 0 {
+		if len(failed) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy backend"})
+			return
+		}
+		writePartialFailure(w, failed)
+		return
+	}
+	stages := make(map[string]obs.Summary, len(stageSnaps))
+	for stage, snap := range stageSnaps {
+		stages[stage] = snap.Summarize()
 	}
 	var opens, retries uint64
 	var open, halfOpen int
@@ -188,8 +249,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		}
 		n.mu.Unlock()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":             len(results),
+	resp := map[string]any{
+		"nodes":             merged,
 		"totals":            totals,
 		"sessions_by_state": byState,
 		"per_node":          perNode,
@@ -200,7 +261,15 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 			"breakers_halfopen": halfOpen,
 			"retries_total":     retries,
 		},
-	})
+	}
+	if len(stages) > 0 {
+		resp["stages"] = stages
+	}
+	if len(failed) > 0 {
+		resp["partial"] = true
+		resp["failed"] = failed
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRepository merges the repository inspection views: lifecycle

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"relm/internal/obs"
 )
 
 // Backend names one relm-serve node. Name is the node identity the backend
@@ -84,6 +86,12 @@ type Options struct {
 	// re-creates the lost sessions (requires -replicate-to on the
 	// backends).
 	Promote bool
+	// Obs is the stage-latency registry (router.pick / router.proxy /
+	// router.fanout). Created when nil, so instrumentation is always live.
+	Obs *obs.Registry
+	// SlowLog, when > 0, logs any request slower than this span-by-span
+	// through Logf.
+	SlowLog time.Duration
 }
 
 func (o *Options) fill() {
@@ -110,6 +118,9 @@ func (o *Options) fill() {
 	}
 	if o.BreakerProbeMax == 0 {
 		o.BreakerProbeMax = 30 * time.Second
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 }
 
@@ -210,10 +221,17 @@ type Router struct {
 	// drains the time to close and hand off every session.
 	client      *http.Client
 	drainClient *http.Client
-	mux         *http.ServeMux
+	mux         http.Handler
 	quit        chan struct{}
 	wg          sync.WaitGroup
 	closeOnce   sync.Once
+
+	// Observability: request tracer plus the stage histograms, resolved
+	// once at construction so the data path never takes a registry lock.
+	tracer     *obs.Tracer
+	histPick   *obs.Histogram
+	histProxy  *obs.Histogram
+	histFanout *obs.Histogram
 
 	// Fail-over accounting (see promote.go).
 	promotions atomic.Uint64
@@ -255,6 +273,10 @@ func New(opts Options) (*Router, error) {
 		}
 		r.nodes = append(r.nodes, &node{name: b.Name, base: u})
 	}
+	r.tracer = obs.NewTracer("router", opts.SlowLog, opts.Logf)
+	r.histPick = opts.Obs.Histogram("router.pick")
+	r.histProxy = opts.Obs.Histogram("router.proxy")
+	r.histFanout = opts.Obs.Histogram("router.fanout")
 	r.mux = r.buildMux()
 	for _, n := range r.nodes {
 		r.wg.Add(1)
@@ -490,6 +512,15 @@ func (r *Router) send(client *http.Client, req *http.Request, n *node, method, p
 	if body != nil {
 		out.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the trace ID so the backend's spans join this request's
+	// trace. The context trace is authoritative (the middleware minted or
+	// adopted it); the raw header is the fallback for internal callers that
+	// bypass the middleware.
+	if id := obs.TraceFrom(req.Context()).ID(); id != "" {
+		out.Header.Set(obs.TraceHeader, id)
+	} else if id := req.Header.Get(obs.TraceHeader); id != "" {
+		out.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := client.Do(out)
 	if err != nil {
 		return 0, nil, nil, err
@@ -529,7 +560,9 @@ func writeProxied(w http.ResponseWriter, n *node, status int, buf []byte, hdr ht
 // budget — the node answered fast, it just doesn't hold the session.
 func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	pickStart := time.Now()
 	cands := candidates(r.eligibleNodes(), id)
+	r.histPick.Record(time.Since(pickStart))
 	if len(cands) == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy backend"})
 		return
@@ -629,7 +662,9 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "encode body: " + err.Error()})
 		return
 	}
+	pickStart := time.Now()
 	cands := candidates(r.eligibleNodes(), id)
+	r.histPick.Record(time.Since(pickStart))
 	if len(cands) == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy backend"})
 		return
@@ -672,8 +707,9 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusBadGateway, map[string]any{"error": "all backends unreachable: " + lastErr.Error()})
 }
 
-// buildMux wires the routes.
-func (r *Router) buildMux() *http.ServeMux {
+// buildMux wires the routes, wrapped in the tracing middleware so every
+// request carries a trace and lands in the recent-trace ring.
+func (r *Router) buildMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", r.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", r.handleList)
@@ -683,13 +719,15 @@ func (r *Router) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sessions/{id}/suggest", r.handleSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/observe", r.handleSession)
 	mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", r.handleTraces)
+	mux.HandleFunc("GET /metrics", r.handleProm)
 	mux.HandleFunc("GET /v1/repository", r.handleRepository)
 	mux.HandleFunc("GET /v1/repository/export", r.handleRepoExport)
 	mux.HandleFunc("POST /v1/repository/import", r.handleRepoImport)
 	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	mux.HandleFunc("POST /v1/cluster/drain/{node}", r.handleDrain)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
-	return mux
+	return r.tracer.Middleware(mux)
 }
 
 func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {

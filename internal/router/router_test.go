@@ -268,9 +268,11 @@ func TestListAndMetricsMerge(t *testing.T) {
 	}
 }
 
-func TestMergePartialFailureIs502(t *testing.T) {
-	// Node c answers health checks but fails /v1/metrics: the merge must
-	// report the failure per node, not silently return a partial sum.
+func TestMergePartialFailure(t *testing.T) {
+	// Node c answers health checks but fails everything else. The metrics
+	// merge must degrade gracefully — 200 with the healthy node's numbers,
+	// partial: true, and per-node failure detail — while the session
+	// listing stays all-or-nothing and answers 502 with the same detail.
 	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
 			w.Write([]byte(`{"ok":true,"node":"c","sessions":0}`))
@@ -303,21 +305,52 @@ func TestMergePartialFailureIs502(t *testing.T) {
 		t.Fatalf("metrics: %v", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("metrics with broken backend: status %d, want 502", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics with one broken backend: status %d, want 200 partial", resp.StatusCode)
+	}
+	var mt struct {
+		Nodes   int                        `json:"nodes"`
+		Partial bool                       `json:"partial"`
+		Failed  map[string]string          `json:"failed"`
+		PerNode map[string]json.RawMessage `json:"per_node"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mt); err != nil {
+		t.Fatalf("decode metrics body: %v", err)
+	}
+	if !mt.Partial {
+		t.Fatalf("partial flag not set: %+v", mt)
+	}
+	if mt.Nodes != 1 {
+		t.Fatalf("merged nodes %d, want 1 (only the healthy backend)", mt.Nodes)
+	}
+	if mt.Failed["c"] == "" || !strings.Contains(mt.Failed["c"], "500") {
+		t.Fatalf("failed map lacks detail for c: %+v", mt.Failed)
+	}
+	if _, ok := mt.Failed["a"]; ok {
+		t.Fatalf("healthy node a blamed in failed map: %+v", mt.Failed)
+	}
+	if _, ok := mt.PerNode["a"]; !ok {
+		t.Fatalf("healthy node a missing from per_node: %+v", mt)
+	}
+
+	// The session listing keeps the all-or-nothing contract.
+	resp2, err := http.Get(front.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Fatalf("list with broken backend: status %d, want 502", resp2.StatusCode)
 	}
 	var detail struct {
 		Error string            `json:"error"`
 		Nodes map[string]string `json:"nodes"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+	if err := json.NewDecoder(resp2.Body).Decode(&detail); err != nil {
 		t.Fatalf("decode 502 body: %v", err)
 	}
 	if detail.Nodes["c"] == "" || !strings.Contains(detail.Nodes["c"], "500") {
 		t.Fatalf("502 body lacks per-node detail for c: %+v", detail)
-	}
-	if _, ok := detail.Nodes["a"]; ok {
-		t.Fatalf("healthy node a blamed in 502 detail: %+v", detail)
 	}
 }
 

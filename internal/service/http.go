@@ -11,6 +11,7 @@ import (
 
 	"relm/internal/bo"
 	"relm/internal/conf"
+	"relm/internal/obs"
 	"relm/internal/profile"
 	"relm/internal/replica"
 )
@@ -178,6 +179,40 @@ type MetricsResponse struct {
 	ReplicaIngests       uint64  `json:"replica_ingests,omitempty"`
 	ReplicaIngestBytes   int64   `json:"replica_ingest_bytes,omitempty"`
 	ReplicaPromotions    uint64  `json:"replica_promotions,omitempty"`
+
+	// Stages carries the per-stage latency digests; StageHist the raw
+	// bucket arrays the router merges bucket-wise into cluster-exact
+	// percentiles. Both absent when the node runs with NoObs.
+	Stages    map[string]obs.Summary   `json:"stages,omitempty"`
+	StageHist map[string]StageHistJSON `json:"stage_hist,omitempty"`
+}
+
+// StageHistJSON is the mergeable wire form of one stage histogram: the
+// full power-of-two bucket array plus count/sum. Adding two of these
+// bucket-wise is exact, so cluster-wide percentiles need no
+// approximation beyond the buckets themselves.
+type StageHistJSON struct {
+	Count   uint64   `json:"count"`
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// stageFields renders a stage-snapshot map into the two wire maps.
+func stageFields(stages map[string]obs.Snapshot) (map[string]obs.Summary, map[string]StageHistJSON) {
+	if len(stages) == 0 {
+		return nil, nil
+	}
+	sums := make(map[string]obs.Summary, len(stages))
+	hists := make(map[string]StageHistJSON, len(stages))
+	for name, snap := range stages {
+		sums[name] = snap.Summarize()
+		hists[name] = StageHistJSON{
+			Count:   snap.Count,
+			SumNs:   snap.SumNs,
+			Buckets: append([]uint64(nil), snap.Buckets[:]...),
+		}
+	}
+	return sums, hists
 }
 
 // DrainSessionJSON is one drained session on the wire: the state it held,
@@ -366,6 +401,7 @@ func NewHandler(m *Manager) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		spanStart := time.Now()
 		st, err := m.Create(Spec{
 			ID:                req.ID,
 			Backend:           req.Backend,
@@ -384,6 +420,7 @@ func NewHandler(m *Manager) http.Handler {
 			PriorCluster:      req.PriorCluster,
 			PriorDistance:     req.PriorDistance,
 		})
+		obs.TraceFrom(r.Context()).AddSpan("service.create", spanStart)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -410,7 +447,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{id}/suggest", func(w http.ResponseWriter, r *http.Request) {
+		spanStart := time.Now()
 		cfg, done, err := m.Suggest(r.PathValue("id"))
+		obs.TraceFrom(r.Context()).AddSpan("service.suggest", spanStart)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -423,6 +462,7 @@ func NewHandler(m *Manager) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		spanStart := time.Now()
 		st, err := m.Observe(r.PathValue("id"), Observation{
 			Config:     req.Config.toConfig(),
 			RuntimeSec: req.RuntimeSec,
@@ -430,6 +470,7 @@ func NewHandler(m *Manager) http.Handler {
 			GCOverhead: req.GCOverhead,
 			Stats:      req.Stats,
 		})
+		obs.TraceFrom(r.Context()).AddSpan("service.observe", spanStart)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -504,7 +545,28 @@ func NewHandler(m *Manager) http.Handler {
 				resp.LastCompaction = &t
 			}
 		}
+		resp.Stages, resp.StageHist = stageFields(mt.Stages)
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePromMetrics(w, m.Metrics())
+	})
+
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if id := q.Get("id"); id != "" {
+			rec, ok := m.Tracer().Find(id)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, errorJSON{Error: "trace not found: " + id})
+				return
+			}
+			writeJSON(w, http.StatusOK, TracesResponse{Node: m.NodeID(), Traces: []obs.TraceRecord{rec}})
+			return
+		}
+		limit, _ := strconv.Atoi(q.Get("limit"))
+		writeJSON(w, http.StatusOK, TracesResponse{Node: m.NodeID(), Traces: m.Tracer().Recent(limit)})
 	})
 
 	mux.HandleFunc("GET /v1/repository", func(w http.ResponseWriter, r *http.Request) {
@@ -701,7 +763,63 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	return mux
+	// The tracer middleware wraps the whole API, so every request — the
+	// session lifecycle, replica ingest from a shipping primary, even
+	// health checks — carries a trace in its context, echoes its ID in
+	// X-Relm-Trace, and lands in the /v1/traces ring.
+	return m.Tracer().Middleware(mux)
+}
+
+// TracesResponse is the body of GET /v1/traces.
+type TracesResponse struct {
+	Node   string            `json:"node,omitempty"`
+	Traces []obs.TraceRecord `json:"traces"`
+}
+
+// writePromMetrics renders a Metrics snapshot in the Prometheus text
+// exposition format: lifetime counters, WAL/replica/repository gauges,
+// and every stage histogram as cumulative buckets.
+func writePromMetrics(w io.Writer, mt Metrics) {
+	p := obs.NewPromWriter(w)
+	p.Gauge("relm_sessions", "Live sessions.", float64(mt.Sessions))
+	for state, n := range mt.SessionsByState {
+		p.Gauge("relm_sessions_by_state", "Live sessions by state.", float64(n), "state", state)
+	}
+	p.Counter("relm_observations_total", "Recorded experiments (including replayed).", float64(mt.Observations))
+	p.Counter("relm_evictions_total", "TTL session evictions.", float64(mt.Evictions))
+	p.Counter("relm_warm_starts_total", "Repository-seeded sessions.", float64(mt.WarmStarts))
+	p.Counter("relm_surrogate_fits_total", "Full surrogate hyperparameter selections.", float64(mt.SurrogateFits))
+	p.Counter("relm_surrogate_appends_total", "Incremental surrogate appends.", float64(mt.SurrogateAppends))
+	p.Gauge("relm_repo_entries", "Model repository entries.", float64(mt.RepoEntries))
+	p.Counter("relm_repo_hits_total", "Warm-start repository matches.", float64(mt.RepoHits))
+	p.Counter("relm_repo_evictions_total", "Repository capacity evictions.", float64(mt.RepoEvictions))
+	drain := 0.0
+	if mt.Draining {
+		drain = 1
+	}
+	p.Gauge("relm_draining", "1 while the node is draining.", drain)
+	if mt.Persistence {
+		p.Gauge("relm_wal_bytes", "WAL size across segments.", float64(mt.Store.WALBytes))
+		p.Counter("relm_wal_events_total", "Events journaled to the WAL.", float64(mt.Store.WALEvents))
+		p.Gauge("relm_wal_segments", "Live WAL segments.", float64(mt.Store.Segments))
+		p.Counter("relm_wal_pruned_segments_total", "Sealed segments deleted by compaction.", float64(mt.Store.PrunedSegments))
+		p.Counter("relm_wal_commit_batches_total", "Group-commit batches flushed.", float64(mt.Store.Batches))
+		p.Counter("relm_wal_batched_events_total", "Records flushed through group commit.", float64(mt.Store.BatchedEvents))
+		p.Counter("relm_snapshots_total", "Compacted snapshots written.", float64(mt.Store.Snapshots))
+		p.Gauge("relm_snapshot_bytes", "Latest snapshot size.", float64(mt.Store.SnapshotBytes))
+	}
+	if mt.Replication {
+		p.Gauge("relm_replica_followers", "Configured ship targets.", float64(mt.Replica.Followers))
+		p.Gauge("relm_replica_segments_behind", "Segments with unshipped bytes across followers.", float64(mt.Replica.SegmentsBehind))
+		p.Gauge("relm_replica_bytes_behind", "Unshipped WAL bytes across followers.", float64(mt.Replica.BytesBehind))
+		p.Counter("relm_replica_ships_total", "Acknowledged ship requests.", float64(mt.Replica.Ships))
+		p.Counter("relm_replica_ship_errors_total", "Failed ship requests.", float64(mt.Replica.ShipErrors))
+		p.Gauge("relm_replica_primaries", "Primaries this node holds replicas for.", float64(mt.Replica.Primaries))
+		p.Counter("relm_replica_ingests_total", "Replica ingest appends.", float64(mt.Replica.Ingests))
+		p.Counter("relm_replica_ingest_bytes_total", "Replica bytes ingested.", float64(mt.Replica.IngestBytes))
+		p.Counter("relm_replica_promotions_total", "Replicas promoted on this node.", float64(mt.Replica.Promotions))
+	}
+	p.StageHistograms("relm_stage_latency_seconds", "Per-stage latency distribution.", mt.Stages)
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -333,7 +333,7 @@ func (m *Manager) buildSession(id string, spec Spec, created time.Time) (*Sessio
 		spec.Mode = ModeRemote
 	}
 	sp := tune.NewSpace(cl, wl)
-	t, err := newTuner(spec, cl, sp)
+	t, err := m.newTuner(spec, cl, sp)
 	if err != nil {
 		return nil, err
 	}

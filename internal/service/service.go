@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math"
 	"strings"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"relm/internal/core"
 	"relm/internal/ddpg"
 	"relm/internal/gbo"
+	"relm/internal/obs"
 	"relm/internal/profile"
 	"relm/internal/replica"
 	"relm/internal/sim/cluster"
@@ -123,6 +125,20 @@ type Options struct {
 	// ingest counters in. The Manager does not take ownership: the caller
 	// that wired the Set to the store closes it.
 	Replica *replica.Set
+	// Obs is the per-stage latency registry. When nil (and NoObs is
+	// unset) the manager creates one, so stage histograms are on by
+	// default; pass a shared registry to fold in WAL and replica stages
+	// recorded outside the manager.
+	Obs *obs.Registry
+	// NoObs disables stage histograms and leaves Obs nil — the
+	// uninstrumented baseline the benchgate overhead ratio compares
+	// against.
+	NoObs bool
+	// SlowLog, when positive, logs any HTTP request slower than this
+	// span-by-span (through SlowLogf, defaulting to log.Printf).
+	SlowLog time.Duration
+	// SlowLogf receives slow-request log lines (default log.Printf).
+	SlowLogf func(format string, args ...any)
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -151,6 +167,12 @@ func (o *Options) fill() {
 	}
 	if o.RepoCapacity == 0 {
 		o.RepoCapacity = 1024
+	}
+	if o.Obs == nil && !o.NoObs {
+		o.Obs = obs.NewRegistry()
+	}
+	if o.SlowLogf == nil {
+		o.SlowLogf = log.Printf
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -355,6 +377,13 @@ type Manager struct {
 	journalErr    atomic.Pointer[string]
 	replaying     bool // set during Open's replay; suppresses journaling
 
+	// Stage histograms, resolved once at construction so the hot path
+	// never takes the registry lock. All nil when Options.NoObs is set.
+	obsSuggest *obs.Histogram
+	obsObserve *obs.Histogram
+	obsCreate  *obs.Histogram
+	tracer     *obs.Tracer
+
 	jobs   chan *Session
 	quit   chan struct{}
 	snapCh chan struct{}
@@ -418,6 +447,14 @@ func newManager(opts Options) *Manager {
 	for i := range m.shards {
 		m.shards[i] = &shard{sessions: make(map[string]*Session), closed: make(map[string]uint64)}
 	}
+	m.obsSuggest = m.opts.Obs.Histogram("service.suggest")
+	m.obsObserve = m.opts.Obs.Histogram("service.observe")
+	m.obsCreate = m.opts.Obs.Histogram("service.create")
+	node := m.opts.NodeID
+	if node == "" {
+		node = "serve"
+	}
+	m.tracer = obs.NewTracer(node, m.opts.SlowLog, m.opts.SlowLogf)
 	return m
 }
 
@@ -552,9 +589,16 @@ func resolve(spec Spec) (cluster.Spec, workload.Spec, error) {
 	return cl, wl, nil
 }
 
-// newTuner builds the incremental tuner for a session spec.
-func newTuner(spec Spec, cl cluster.Spec, sp tune.Space) (tune.Tuner, error) {
-	boOpts := bo.Options{Seed: spec.Seed, MaxIterations: spec.MaxIterations}
+// newTuner builds the incremental tuner for a session spec, wiring the
+// manager's surrogate/acquisition histograms into BO-family backends.
+func (m *Manager) newTuner(spec Spec, cl cluster.Spec, sp tune.Space) (tune.Tuner, error) {
+	boOpts := bo.Options{
+		Seed:                spec.Seed,
+		MaxIterations:       spec.MaxIterations,
+		SurrogateAppendHist: m.opts.Obs.Histogram("surrogate.append"),
+		SurrogateRefitHist:  m.opts.Obs.Histogram("surrogate.refit"),
+		AcquisitionHist:     m.opts.Obs.Histogram("acquisition"),
+	}
 	switch strings.ToLower(spec.Backend) {
 	case "", "relm":
 		return core.New(cl).Incremental(sp), nil
@@ -611,6 +655,18 @@ func (m *Manager) matchWarm(clusterName string, fp profile.Stats, maxDistance, d
 // Create opens a new session and, in auto mode, enqueues it on the worker
 // pool.
 func (m *Manager) Create(spec Spec) (Status, error) {
+	var start time.Time
+	if m.obsCreate != nil {
+		start = time.Now()
+	}
+	st, err := m.create(spec)
+	if !start.IsZero() {
+		m.obsCreate.Record(time.Since(start))
+	}
+	return st, err
+}
+
+func (m *Manager) create(spec Spec) (Status, error) {
 	cl, wl, err := resolve(spec)
 	if err != nil {
 		return Status{}, err
@@ -624,7 +680,7 @@ func (m *Manager) Create(spec Spec) (Status, error) {
 	}
 	spec.Mode = mode
 	sp := tune.NewSpace(cl, wl)
-	t, err := newTuner(spec, cl, sp)
+	t, err := m.newTuner(spec, cl, sp)
 	if err != nil {
 		return Status{}, err
 	}
@@ -762,6 +818,10 @@ func (m *Manager) get(id string) (*Session, error) {
 // Suggest returns the session's next configuration to measure and whether
 // the session's stopping rule has fired.
 func (m *Manager) Suggest(id string) (conf.Config, bool, error) {
+	var start time.Time
+	if m.obsSuggest != nil {
+		start = time.Now()
+	}
 	s, err := m.get(id)
 	if err != nil {
 		return conf.Config{}, false, err
@@ -775,12 +835,19 @@ func (m *Manager) Suggest(id string) (conf.Config, bool, error) {
 	m.journal(&store.Event{Type: store.EventSuggest, ID: s.id, Time: s.lastUsed})
 	cfg := s.tuner.Suggest()
 	s.suggested = true
+	if !start.IsZero() {
+		m.obsSuggest.Record(time.Since(start))
+	}
 	return cfg, s.tuner.Done(), nil
 }
 
 // Observe reports one measured experiment to the session and returns its
 // refreshed status.
 func (m *Manager) Observe(id string, obs Observation) (Status, error) {
+	var start time.Time
+	if m.obsObserve != nil {
+		start = time.Now()
+	}
 	s, err := m.get(id)
 	if err != nil {
 		return Status{}, err
@@ -813,7 +880,11 @@ func (m *Manager) Observe(id string, obs Observation) (Status, error) {
 	m.observeLocked(s, smp)
 	s.lastUsed = m.opts.Now()
 	m.refreshStateLocked(s)
-	return m.statusLocked(s), nil
+	st := m.statusLocked(s)
+	if !start.IsZero() {
+		m.obsObserve.Record(time.Since(start))
+	}
+	return st, nil
 }
 
 // Best returns the session's incumbent.
@@ -1128,6 +1199,10 @@ type Metrics struct {
 	// carries its shipping lag and ingest counters.
 	Replication bool
 	Replica     replica.Stats
+	// Stages holds the per-stage latency snapshots (service.suggest,
+	// wal.append, surrogate.refit, …). Nil when Options.NoObs disabled
+	// stage histograms.
+	Stages map[string]obs.Snapshot
 }
 
 // Metrics reports the service's observability counters.
@@ -1177,8 +1252,16 @@ func (m *Manager) Metrics() Metrics {
 	if p := m.journalErr.Load(); p != nil {
 		mt.JournalError = *p
 	}
+	mt.Stages = m.opts.Obs.Snapshots()
 	return mt
 }
+
+// Obs returns the manager's stage-histogram registry (nil under NoObs).
+func (m *Manager) Obs() *obs.Registry { return m.opts.Obs }
+
+// Tracer returns the manager's request tracer; NewHandler wraps the API
+// mux in its middleware.
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // ReplicaSet returns the node's replication state (nil when replication
 // is not configured).

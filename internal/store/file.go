@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"relm/internal/obs"
 )
 
 const snapshotFile = "snapshot.json"
@@ -44,6 +46,12 @@ type FileOptions struct {
 	// (the pre-segmentation behavior; also the benchmark baseline).
 	// Ignored unless SyncEachAppend is set.
 	NoGroupCommit bool
+	// AppendHist, when set, records the end-to-end latency of every
+	// Append (marshal through durable return); FlushWaitHist records just
+	// the time spent waiting on the group-commit flush, so fsync stalls
+	// are separable from marshal/write cost.
+	AppendHist    *obs.Histogram
+	FlushWaitHist *obs.Histogram
 }
 
 func (o *FileOptions) fill() {
@@ -189,6 +197,10 @@ func (s *File) snapPath() string   { return filepath.Join(s.dir, snapshotFile) }
 // OS and returns; with it, the call blocks until the event's group-commit
 // batch is fsynced (or, with NoGroupCommit, fsyncs individually).
 func (s *File) Append(ev *Event) (uint64, error) {
+	var start time.Time
+	if s.opts.AppendHist != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -208,11 +220,24 @@ func (s *File) Append(ev *Event) (uint64, error) {
 	if s.gc != nil {
 		b := s.gc.join(s, buf)
 		s.mu.Unlock()
+		var flushStart time.Time
+		if s.opts.FlushWaitHist != nil {
+			flushStart = time.Now()
+		}
 		<-b.done
+		if !flushStart.IsZero() {
+			s.opts.FlushWaitHist.Record(time.Since(flushStart))
+		}
+		if !start.IsZero() {
+			s.opts.AppendHist.Record(time.Since(start))
+		}
 		return seq, b.err
 	}
 	err = s.writeLocked(buf, 1, s.opts.SyncEachAppend)
 	s.mu.Unlock()
+	if !start.IsZero() {
+		s.opts.AppendHist.Record(time.Since(start))
+	}
 	return seq, err
 }
 

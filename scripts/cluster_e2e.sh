@@ -4,6 +4,10 @@
 # an operator would:
 #
 #   phase 1  full create/suggest/observe/close lifecycle through the router
+#   phase 1b Prometheus /metrics scrapes parse on a backend and the router,
+#            merged /v1/metrics carries cluster stage digests, and one
+#            proxied request's trace ID shows router-hop + backend-stage
+#            spans in both /v1/traces rings
 #   phase 2  kill -9 a live backend (no drain): the router must promote the
 #            dead node's WAL replica on a follower and resume its sessions
 #            under their original IDs — history intact, next suggestion
@@ -156,6 +160,45 @@ for i in 1 2 3; do
 done
 HIST=$(expect 200 GET "$R/v1/sessions/$SID/history")
 [ "$(echo "$HIST" | jq length)" = "3" ] || fail "history length != 3: $HIST"
+
+# --------------------------------------------------------------- phase 1b
+log "phase 1b: observability — Prometheus scrapes + trace propagation"
+# Both exposition endpoints must emit parseable Prometheus text: every
+# non-comment line is exactly "name{labels} value".
+for target in "$(url_of "$NODE1")" "$R"; do
+    PROM=$(expect 200 GET "$target/metrics")
+    echo "$PROM" | awk '!/^#/ && NF > 0 && NF != 2 { bad = 1 } END { exit bad }' \
+        || fail "unparseable Prometheus line from $target/metrics"
+done
+BPROM=$(req GET "$(url_of "$NODE1")/metrics")
+echo "$BPROM" | grep -q '^relm_stage_latency_seconds_bucket{stage="service.suggest"' \
+    || fail "backend scrape missing the service.suggest stage histogram"
+echo "$BPROM" | grep -q '^relm_observations_total ' \
+    || fail "backend scrape missing relm_observations_total"
+RPROM=$(req GET "$R/metrics")
+echo "$RPROM" | grep -q '^relm_router_backends_healthy ' \
+    || fail "router scrape missing relm_router_backends_healthy"
+echo "$RPROM" | grep -q '^relm_router_stage_latency_seconds_bucket{stage="router.proxy"' \
+    || fail "router scrape missing the router.proxy stage histogram"
+
+# The merged /v1/metrics carries cluster-wide stage digests.
+MET=$(expect 200 GET "$R/v1/metrics")
+[ "$(jqget "$MET" '.stages."service.suggest".count')" -ge 3 ] \
+    || fail "merged metrics missing service.suggest stage digest: $MET"
+
+# One proxied request = one trace ID across both hops: the router's ring
+# shows the proxy span, the home backend's ring shows the handler stage.
+TRACE=$(curl -sS -o /dev/null -D - -X POST "$R/v1/sessions/$SID/suggest" \
+    | awk 'tolower($1) == "x-relm-trace:" { print $2 }' | tr -d '\r')
+[ -n "$TRACE" ] || fail "router response carries no X-Relm-Trace header"
+RTRACE=$(expect 200 GET "$R/v1/traces?id=$TRACE")
+jqget "$RTRACE" '.traces[0].spans[] | select(.name == "proxy '"$NODE1"'")' >/dev/null \
+    || fail "router trace $TRACE lacks the proxy hop span: $RTRACE"
+BTRACE=$(expect 200 GET "$(url_of "$NODE1")/v1/traces?id=$TRACE")
+jqget "$BTRACE" '.traces[0].spans[] | select(.name == "service.suggest")' >/dev/null \
+    || fail "backend trace $TRACE lacks the service.suggest span: $BTRACE"
+log "  trace $TRACE spans router-hop + backend-stage; /metrics scrapes parse on both tiers"
+
 expect 204 DELETE "$R/v1/sessions/$SID" >/dev/null
 expect 404 GET "$R/v1/sessions/$SID" >/dev/null
 log "  lifecycle ok (create -> 3x suggest/observe -> history -> close)"
