@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+// TraceFormat identifies the on-disk trace layout. Bump it when the
+// record shape changes; ReadTrace rejects formats it does not know.
+const TraceFormat = "relm-loadtrace/1"
+
+// TraceHeader is the first JSONL line of a trace file.
+type TraceHeader struct {
+	Format   string `json:"format"`
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Sessions int    `json:"sessions"`
+}
+
+// TraceSession is one session of the trace: when it starts (offset from
+// run start), what it creates, and how long it lives. IDs are not stored
+// — the driver derives the wire ID from its run ID plus Index, so one
+// trace can be replayed many times against a durable cluster without
+// session-ID collisions.
+type TraceSession struct {
+	Index    int    `json:"i"`
+	AtNs     int64  `json:"at_ns"`
+	Backend  string `json:"backend"`
+	Workload string `json:"workload"`
+	Cluster  string `json:"cluster"`
+	Seed     uint64 `json:"seed"`
+	// Iters is the number of suggest/observe rounds the driver attempts;
+	// a backend reporting done earlier (relm's short pipeline) ends the
+	// loop early and is not an error.
+	Iters int  `json:"iters"`
+	Warm  bool `json:"warm,omitempty"`
+}
+
+// Trace is a fully materialized session-lifecycle trace, sorted by AtNs.
+type Trace struct {
+	Header   TraceHeader
+	Sessions []TraceSession
+}
+
+// Duration is the span from run start to the last session's arrival.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Sessions) == 0 {
+		return 0
+	}
+	return time.Duration(t.Sessions[len(t.Sessions)-1].AtNs)
+}
+
+// Ops is the trace's total request count if every session completes its
+// full lifecycle: one create, Iters suggests and observes, one close.
+func (t *Trace) Ops() int {
+	ops := 0
+	for _, s := range t.Sessions {
+		ops += 2 + 2*s.Iters
+	}
+	return ops
+}
+
+// Generate derives the trace from a validated scenario, deterministically
+// from Scenario.Seed. All randomness flows through one PCG stream in a
+// fixed visitation order, so the resulting trace — and its file form —
+// is byte-for-byte reproducible.
+func Generate(sc *Scenario) (*Trace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(sc.Seed, sc.Seed^0x9e3779b97f4a7c15))
+	kinds, cum := sc.backendKinds()
+
+	tr := &Trace{
+		Header: TraceHeader{
+			Format:   TraceFormat,
+			Scenario: sc.Name,
+			Seed:     sc.Seed,
+			Sessions: sc.Sessions,
+		},
+		Sessions: make([]TraceSession, sc.Sessions),
+	}
+	atNs := int64(0)
+	for i := 0; i < sc.Sessions; i++ {
+		if i > 0 {
+			atNs += interArrivalNs(sc, rng, i)
+		}
+		kind := kinds[len(kinds)-1]
+		u := rng.Float64()
+		for j, c := range cum {
+			if u < c {
+				kind = kinds[j]
+				break
+			}
+		}
+		warm := false
+		if kind == "bo" || kind == "gbo" {
+			warm = rng.Float64() < sc.WarmFraction
+		}
+		tr.Sessions[i] = TraceSession{
+			Index:    i,
+			AtNs:     atNs,
+			Backend:  kind,
+			Workload: sc.Workloads[rng.IntN(len(sc.Workloads))],
+			Cluster:  sc.Clusters[rng.IntN(len(sc.Clusters))],
+			Seed:     rng.Uint64(),
+			Iters:    sampleIters(sc, rng),
+			Warm:     warm,
+		}
+	}
+	return tr, nil
+}
+
+// interArrivalNs samples the gap before session i (i >= 1).
+func interArrivalNs(sc *Scenario, rng *rand.Rand, i int) int64 {
+	switch sc.Arrival.Process {
+	case ArrivalPoisson:
+		// Exponential inter-arrival with mean 1/rate. 1-U keeps the
+		// argument in (0, 1] so Log never sees zero.
+		gap := -math.Log(1-rng.Float64()) / sc.Arrival.RatePerSec
+		return int64(gap * 1e9)
+	case ArrivalRamp:
+		// The instantaneous rate climbs linearly across the trace; the
+		// gap before session i uses the rate at that point of the ramp.
+		frac := 0.0
+		if sc.Sessions > 1 {
+			frac = float64(i) / float64(sc.Sessions-1)
+		}
+		rate := sc.Arrival.RatePerSec + frac*(sc.Arrival.RampToPerSec-sc.Arrival.RatePerSec)
+		return int64(1e9 / rate)
+	default: // constant
+		return int64(1e9 / sc.Arrival.RatePerSec)
+	}
+}
+
+// sampleIters draws one session's iteration count from the lifetime
+// distribution, clamped to [MinIterations, MaxIterations].
+func sampleIters(sc *Scenario, rng *rand.Rand) int {
+	lt := sc.Lifetime
+	var n int
+	switch lt.Dist {
+	case LifetimeUniform:
+		n = lt.MinIterations + rng.IntN(lt.MaxIterations-lt.MinIterations+1)
+	case LifetimeGeometric:
+		// Geometric on {1, 2, ...} with mean m: success probability 1/m.
+		p := 1 / lt.MeanIterations
+		if p >= 1 {
+			n = 1
+		} else {
+			n = 1 + int(math.Floor(math.Log(1-rng.Float64())/math.Log(1-p)))
+		}
+	default: // fixed
+		n = int(math.Round(lt.MeanIterations))
+	}
+	if n < lt.MinIterations {
+		n = lt.MinIterations
+	}
+	if n > lt.MaxIterations {
+		n = lt.MaxIterations
+	}
+	return n
+}
+
+// WriteTo writes the trace as JSONL: the header line, then one line per
+// session in start order. Encoding goes through struct marshaling with a
+// fixed field order, so identical traces produce identical bytes.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	writeLine := func(v any) error {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		k, err := bw.Write(append(buf, '\n'))
+		n += int64(k)
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return n, fmt.Errorf("loadgen: write trace header: %w", err)
+	}
+	for i := range t.Sessions {
+		if err := writeLine(&t.Sessions[i]); err != nil {
+			return n, fmt.Errorf("loadgen: write trace session %d: %w", i, err)
+		}
+	}
+	return n, bw.Flush()
+}
+
+// WriteFile writes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: create trace file: %w", err)
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses a trace written by WriteTo, verifying the format tag,
+// the declared session count, and the start-order sort.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: read trace header: %w", err)
+		}
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	var tr Trace
+	if err := json.Unmarshal(sc.Bytes(), &tr.Header); err != nil {
+		return nil, fmt.Errorf("loadgen: parse trace header: %w", err)
+	}
+	if tr.Header.Format != TraceFormat {
+		return nil, fmt.Errorf("loadgen: unknown trace format %q (want %q)", tr.Header.Format, TraceFormat)
+	}
+	tr.Sessions = make([]TraceSession, 0, tr.Header.Sessions)
+	for sc.Scan() {
+		var s TraceSession
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return nil, fmt.Errorf("loadgen: parse trace session %d: %w", len(tr.Sessions), err)
+		}
+		if n := len(tr.Sessions); n > 0 && s.AtNs < tr.Sessions[n-1].AtNs {
+			return nil, fmt.Errorf("loadgen: trace session %d out of start order", n)
+		}
+		tr.Sessions = append(tr.Sessions, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: read trace: %w", err)
+	}
+	if len(tr.Sessions) != tr.Header.Sessions {
+		return nil, fmt.Errorf("loadgen: trace holds %d sessions, header declares %d", len(tr.Sessions), tr.Header.Sessions)
+	}
+	return &tr, nil
+}
+
+// ReadTraceFile parses the trace at path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: open trace file: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,49 @@
+package obs
+
+// HistJSON is the mergeable wire form of one histogram snapshot: the full
+// power-of-two bucket array plus count/sum. Adding two of these
+// bucket-wise is exact, so multi-node (router fan-out) and multi-run
+// (loadgen report) aggregation computes percentiles over the union of
+// observations, never an average of percentiles.
+type HistJSON struct {
+	Count   uint64   `json:"count"`
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// JSON renders the snapshot for the wire.
+func (s Snapshot) JSON() HistJSON {
+	return HistJSON{
+		Count:   s.Count,
+		SumNs:   s.SumNs,
+		Buckets: append([]uint64(nil), s.Buckets[:]...),
+	}
+}
+
+// Snapshot reconstitutes a wire histogram. Buckets beyond NumBuckets fold
+// into the last (+Inf) bucket, so a snapshot from a build with more
+// buckets still merges losslessly at the top end; missing buckets read as
+// zero.
+func (h HistJSON) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.Count
+	s.SumNs = h.SumNs
+	for i, n := range h.Buckets {
+		if i >= NumBuckets {
+			s.Buckets[NumBuckets-1] += n
+			continue
+		}
+		s.Buckets[i] += n
+	}
+	return s
+}
+
+// MergeHists folds any number of wire histograms into one exact snapshot.
+func MergeHists(hs ...HistJSON) Snapshot {
+	var out Snapshot
+	for _, h := range hs {
+		s := h.Snapshot()
+		out.Merge(s)
+	}
+	return out
+}

@@ -188,14 +188,10 @@ type MetricsResponse struct {
 }
 
 // StageHistJSON is the mergeable wire form of one stage histogram: the
-// full power-of-two bucket array plus count/sum. Adding two of these
-// bucket-wise is exact, so cluster-wide percentiles need no
+// full power-of-two bucket array plus count/sum (obs.HistJSON). Adding
+// two of these bucket-wise is exact, so cluster-wide percentiles need no
 // approximation beyond the buckets themselves.
-type StageHistJSON struct {
-	Count   uint64   `json:"count"`
-	SumNs   uint64   `json:"sum_ns"`
-	Buckets []uint64 `json:"buckets"`
-}
+type StageHistJSON = obs.HistJSON
 
 // stageFields renders a stage-snapshot map into the two wire maps.
 func stageFields(stages map[string]obs.Snapshot) (map[string]obs.Summary, map[string]StageHistJSON) {
@@ -206,11 +202,7 @@ func stageFields(stages map[string]obs.Snapshot) (map[string]obs.Summary, map[st
 	hists := make(map[string]StageHistJSON, len(stages))
 	for name, snap := range stages {
 		sums[name] = snap.Summarize()
-		hists[name] = StageHistJSON{
-			Count:   snap.Count,
-			SumNs:   snap.SumNs,
-			Buckets: append([]uint64(nil), snap.Buckets[:]...),
-		}
+		hists[name] = snap.JSON()
 	}
 	return sums, hists
 }
@@ -383,7 +375,9 @@ type errorJSON struct {
 //	POST   /v1/sessions/{id}/observe  report one measurement
 //	GET    /v1/sessions/{id}/history  recorded experiments
 //	DELETE /v1/sessions/{id}          close the session (idempotent)
-//	GET    /v1/metrics                service + store observability counters
+//	GET    /v1/metrics                service + store observability counters, stage digests, raw stage buckets
+//	GET    /metrics                   the same in Prometheus text exposition format (scrape target)
+//	GET    /v1/traces                 recent request traces with timed spans (?id= for one, ?limit= to cap)
 //	GET    /v1/repository             model-repository inspection (entries, fingerprints, hit/evict counters)
 //	GET    /v1/repository/export      full repository entries, prior points included
 //	POST   /v1/repository/import      merge another node's exported entries (idempotent)

@@ -15,6 +15,12 @@
 #   phase 3  drain hand-off with repository warm start onto the survivor
 #   phase 4  corrupt a sealed WAL segment on a scratch node: restart must
 #            fail loudly ("corrupt"), never serve silently shortened data
+#   phase 5  loadgen soak: replay scripts/scenarios/soak.json (~35s of
+#            Poisson arrivals, all four backends) through a fresh router +
+#            2-backend cluster with relm-loadgen; zero unexpected errors
+#            and a p99 ceiling on every request stage. The JSON report
+#            lands at $LOADGEN_OUT (default $WORK/LOAD_pr8.json) so CI can
+#            upload it as an artifact.
 #
 # Every request goes through curl; any non-2xx (where a 2xx is expected) or
 # mismatched session state fails the script.
@@ -34,6 +40,10 @@ PORT_B=18082
 PORT_C=18083
 PORT_X=18084
 PORT_R=18090
+PORT_S1=18085
+PORT_S2=18086
+PORT_SR=18091
+LOADGEN_OUT=${LOADGEN_OUT:-}
 PIDS=()
 
 cleanup() {
@@ -85,10 +95,11 @@ jqget() {
     echo "$out"
 }
 
-log "building relm-serve and relm-router"
+log "building relm-serve, relm-router, and relm-loadgen"
 mkdir -p "$WORK/bin"
 (cd "$ROOT" && go build -o "$WORK/bin/relm-serve" ./cmd/relm-serve)
 (cd "$ROOT" && go build -o "$WORK/bin/relm-router" ./cmd/relm-router)
+(cd "$ROOT" && go build -o "$WORK/bin/relm-loadgen" ./cmd/relm-loadgen)
 
 url_of() {
     case $1 in
@@ -342,5 +353,48 @@ fi
 grep -qi corrupt "$WORK/serve-x-restart.log" \
     || fail "corruption refusal did not say why: $(cat "$WORK/serve-x-restart.log")"
 log "  corrupt sealed segment refused with: $(grep -i corrupt "$WORK/serve-x-restart.log" | head -1)"
+
+# ---------------------------------------------------------------- phase 5
+log "phase 5: loadgen soak — scripts/scenarios/soak.json through a fresh router + 2 backends"
+# A fresh mini-cluster: the main one has a killed node and a draining node
+# by now, which is exactly what a soak should not start from.
+"$WORK/bin/relm-serve" -addr "$HOST:$PORT_S1" -node-id s1 -workers 4 \
+    >"$WORK/serve-s1.log" 2>&1 &
+PIDS+=($!)
+"$WORK/bin/relm-serve" -addr "$HOST:$PORT_S2" -node-id s2 -workers 4 \
+    >"$WORK/serve-s2.log" 2>&1 &
+PIDS+=($!)
+"$WORK/bin/relm-router" -addr "$HOST:$PORT_SR" \
+    -backends "s1=http://$HOST:$PORT_S1,s2=http://$HOST:$PORT_S2" \
+    -check-interval 250ms -fail-after 2 >"$WORK/router-soak.log" 2>&1 &
+PIDS+=($!)
+SR="http://$HOST:$PORT_SR"
+for i in $(seq 1 120); do
+    if [ "$(req GET "$SR/healthz" | jq -r '.healthy' 2>/dev/null)" = "2" ]; then break; fi
+    [ "$i" = 120 ] && fail "soak router never saw 2 healthy backends"
+    sleep 0.25
+done
+
+SOAK_REPORT=${LOADGEN_OUT:-$WORK/LOAD_pr8.json}
+"$WORK/bin/relm-loadgen" -scenario "$ROOT/scripts/scenarios/soak.json" \
+    -target "$SR" -trace "$WORK/soak.trace" -out "$SOAK_REPORT" \
+    || fail "loadgen soak run failed"
+
+SOAK_WALL=$(jq -r '.wall_sec' "$SOAK_REPORT")
+[ "$(jq -r '.wall_sec >= 30' "$SOAK_REPORT")" = "true" ] \
+    || fail "soak lasted only ${SOAK_WALL}s, want >= 30s"
+[ "$(jq -r '.ops.errors' "$SOAK_REPORT")" = "0" ] \
+    || fail "soak saw unexpected errors: $(jq -c '.errors' "$SOAK_REPORT")"
+[ "$(jq -r '.sessions.completed == .sessions.total' "$SOAK_REPORT")" = "true" ] \
+    || fail "soak sessions incomplete: $(jq -c '.sessions' "$SOAK_REPORT")"
+# Generous p99 ceiling on every request stage (µs): this is a correctness
+# tripwire for pathological slowdowns, not a perf benchmark.
+P99_CEIL_US=${P99_CEIL_US:-500000}
+BAD_STAGE=$(jq -r --argjson ceil "$P99_CEIL_US" \
+    '[.stages | to_entries[] | select(.key != "sched.lag") | select(.value.p99_us > $ceil) | .key] | join(",")' \
+    "$SOAK_REPORT")
+[ -z "$BAD_STAGE" ] || fail "soak p99 over ${P99_CEIL_US}µs on stage(s) $BAD_STAGE: $(jq -c '.stages' "$SOAK_REPORT")"
+log "  soak ok: $(jq -r '"\(.sessions.completed)/\(.sessions.total) sessions, \(.ops.total) ops, 0 errors in \(.wall_sec | floor)s (\(.ops_per_sec | floor) ops/sec)"' "$SOAK_REPORT")"
+log "  report at $SOAK_REPORT"
 
 log "PASS"
