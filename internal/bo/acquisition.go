@@ -9,16 +9,6 @@ import (
 // unchanged from the original implementation, but now scored in one batch.
 const poolSize = 256
 
-// batchSurrogate is the fast path the default GP surrogate satisfies:
-// posterior evaluation through caller-owned scratch, with no allocation.
-// Custom surrogates (e.g. the Random-Forest ablation) fall back to the
-// plain Predict interface.
-type batchSurrogate interface {
-	Surrogate
-	PredictInto(x []float64, s *gp.Scratch) (mean, variance float64)
-	PredictBatch(xs [][]float64, means, vars []float64, s *gp.Scratch)
-}
-
 // acqScratch holds every buffer of one acquisition maximization: the
 // candidate pool, its decoded configurations and feature rows, the batched
 // posterior, and the hill-climb probes. It lives on the Tuner, so one
@@ -72,16 +62,16 @@ func (a *acqScratch) grow(dim int) {
 // maximizeEI runs the paper's acquisition search — random sampling plus
 // coordinate hill-climbing over the normalized space, skipping
 // already-observed configurations — scoring the candidate pool through the
-// surrogate's batched, allocation-free path. The probe order, RNG stream
+// surrogate's batched, allocation-free path (every gp.Surrogate provides
+// it; non-GP models simply ignore the scratch). The probe order, RNG stream
 // and tie-breaking are identical to the original per-candidate
 // implementation, so it selects the same point; only the evaluation
 // plumbing changed. Returns a freshly copied point (or nil when every
 // candidate was already observed) and its expected improvement.
-func (t *Tuner) maximizeEI(model Surrogate, tau float64) ([]float64, float64) {
+func (t *Tuner) maximizeEI(model gp.Surrogate, tau float64) ([]float64, float64) {
 	a := &t.acq
 	dim := t.sp.Dim()
 	a.grow(dim)
-	batch, _ := model.(batchSurrogate)
 
 	// Random pool: same RNG draw order as the scalar implementation.
 	for _, x := range a.cands {
@@ -93,13 +83,7 @@ func (t *Tuner) maximizeEI(model Surrogate, tau float64) ([]float64, float64) {
 		a.cfgs[i] = t.sp.Decode(x)
 	}
 	feats := t.poolFeatures()
-	if batch != nil {
-		batch.PredictBatch(feats, a.means, a.vars, &a.gps)
-	} else {
-		for i, f := range feats {
-			a.means[i], a.vars[i] = model.Predict(f)
-		}
-	}
+	model.PredictBatch(feats, a.means, a.vars, &a.gps)
 	bestEI := -1.0
 	bestIdx := -1
 	for i := range a.cands {
@@ -123,12 +107,7 @@ func (t *Tuner) maximizeEI(model Surrogate, tau float64) ([]float64, float64) {
 	eiAt := func(x []float64) float64 {
 		cfg := t.sp.Decode(x)
 		f := t.probeFeatures(x, cfg)
-		var mean, variance float64
-		if batch != nil {
-			mean, variance = batch.PredictInto(f, &a.gps)
-		} else {
-			mean, variance = model.Predict(f)
-		}
+		mean, variance := model.PredictInto(f, &a.gps)
 		ei := ExpectedImprovement(mean, variance, tau)
 		if t.pen != nil {
 			ei *= t.pen(x, cfg)

@@ -14,9 +14,44 @@ import (
 	"math"
 
 	"relm/internal/conf"
+	"relm/internal/gp"
 	"relm/internal/obs"
 	"relm/internal/tune"
 )
+
+// SurrogateConfig groups everything that shapes the response-surface model:
+// the kernel family, the exact-vs-budgeted choice, the re-selection
+// schedule, warm-start priors, and the full-model override. The zero value
+// selects the paper's settings (exact incremental GP, RBF kernel).
+type SurrogateConfig struct {
+	// Kernel selects the kernel family: "rbf" (default) or "matern52".
+	Kernel string
+	// Model overrides the surrogate entirely (e.g. the Random-Forest
+	// adapter in internal/rf); when nil a hyperparameter-tuned GP is used.
+	Model gp.Surrogate
+	// Budget caps the GP's active set: >0 selects the budgeted sparse GP
+	// (gp.Sparse) compressing to at most Budget points, so appends and
+	// predictions stay at m-point cost no matter how long the session runs.
+	// 0 keeps the exact incremental GP. Ignored when Model is set.
+	Budget int
+	// RefitEvery throttles hyperparameter re-selection (grid + ARD) to once
+	// per this many incremental observations; between selections a new
+	// sample is absorbed by an O(n²) GP append instead of an O(n³) refit.
+	// Default 8; 1 restores the legacy re-selection on every observation.
+	RefitEvery int
+	// RefitDrift re-selects hyperparameters early when the surrogate's
+	// per-point log marginal likelihood has dropped this much since the
+	// last selection (default 0.25; negative disables the drift trigger).
+	RefitDrift float64
+	// ARDIters bounds the per-dimension length-scale gradient ascent run on
+	// top of the grid at each re-selection (default gp.DefaultARDIters;
+	// negative disables ARD and restores the pure grid).
+	ARDIters int
+	// Prior warm-starts the surrogate with observations from a previous
+	// session (OtterTune-style model re-use, §6.6). Prior points join every
+	// surrogate fit but cost no experiments and never become the incumbent.
+	Prior []PriorPoint
+}
 
 // Options tunes the optimizer. Zero values select the paper's settings.
 type Options struct {
@@ -31,28 +66,11 @@ type Options struct {
 	EIFraction float64
 	// MaxIterations caps the adaptive samples (default 25).
 	MaxIterations int
-	// Kernel selects the surrogate kernel: "rbf" (default) or "matern52".
-	Kernel string
-	// Fit overrides the surrogate entirely (e.g. a Random Forest); when nil
-	// a grid-tuned Gaussian Process with the configured kernel is used.
-	Fit SurrogateFit
+	// Surrogate configures the response-surface model.
+	Surrogate SurrogateConfig
 	// UsePaperLHS bootstraps with the exact Table 7 samples instead of a
 	// seeded random Latin hypercube.
 	UsePaperLHS bool
-	// RefitEvery throttles the surrogate's hyperparameter grid search to
-	// once per this many incremental observations; between selections a new
-	// sample is absorbed by an O(n²) GP append instead of an O(n³) refit
-	// per grid cell. Default 8; 1 restores the legacy re-selection on every
-	// observation. Ignored when Fit overrides the surrogate.
-	RefitEvery int
-	// RefitDrift re-selects hyperparameters early when the surrogate's
-	// per-point log marginal likelihood has dropped this much since the
-	// last selection (default 0.25; negative disables the drift trigger).
-	RefitDrift float64
-	// Prior warm-starts the surrogate with observations from a previous
-	// session (OtterTune-style model re-use, §6.6). Prior points join every
-	// surrogate fit but cost no experiments and never become the incumbent.
-	Prior []PriorPoint
 	// Seed drives the acquisition sampling.
 	Seed uint64
 	// SurrogateAppendHist, SurrogateRefitHist, and AcquisitionHist, when
@@ -61,6 +79,20 @@ type Options struct {
 	SurrogateAppendHist *obs.Histogram
 	SurrogateRefitHist  *obs.Histogram
 	AcquisitionHist     *obs.Histogram
+
+	// Kernel is a deprecated alias for Surrogate.Kernel; the nested field
+	// wins when both are set.
+	Kernel string
+	// Fit is the deprecated func-valued surrogate override; it is wrapped
+	// onto the gp.Surrogate interface and retrains from the full matrix on
+	// every data change. Use Surrogate.Model instead.
+	Fit SurrogateFit
+	// RefitEvery is a deprecated alias for Surrogate.RefitEvery.
+	RefitEvery int
+	// RefitDrift is a deprecated alias for Surrogate.RefitDrift.
+	RefitDrift float64
+	// Prior is a deprecated alias for Surrogate.Prior.
+	Prior []PriorPoint
 }
 
 func (o *Options) fill() {
@@ -76,9 +108,30 @@ func (o *Options) fill() {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 25
 	}
-	if o.Kernel == "" {
-		o.Kernel = "rbf"
+	// Merge the deprecated flat aliases into the nested config; a set
+	// nested field always wins.
+	s := &o.Surrogate
+	if s.Kernel == "" {
+		s.Kernel = o.Kernel
 	}
+	if s.Kernel == "" {
+		s.Kernel = "rbf"
+	}
+	if s.Model == nil && o.Fit != nil {
+		s.Model = &fitSurrogate{fn: o.Fit}
+	}
+	if s.RefitEvery == 0 {
+		s.RefitEvery = o.RefitEvery
+	}
+	if s.RefitDrift == 0 {
+		s.RefitDrift = o.RefitDrift
+	}
+	if s.Prior == nil {
+		s.Prior = o.Prior
+	}
+	// Keep the aliases readable after fill so code holding an Options value
+	// sees one consistent story.
+	o.Kernel, o.RefitEvery, o.RefitDrift, o.Prior = s.Kernel, s.RefitEvery, s.RefitDrift, s.Prior
 }
 
 // Extra computes additional surrogate features for a candidate point.
@@ -92,13 +145,17 @@ type Extra func(x []float64, cfg conf.Config) []float64
 // wasteful.
 type Penalty func(x []float64, cfg conf.Config) float64
 
-// Surrogate is the response-surface model interface: the Gaussian Process by
-// default, or a Random Forest for the Figure 26 ablation.
+// Surrogate is the minimal Predict-only view of a response-surface model,
+// kept for Result.FinalModel consumers and the deprecated SurrogateFit
+// override. The tuner itself drives the richer gp.Surrogate interface.
 type Surrogate interface {
 	Predict(x []float64) (mean, variance float64)
 }
 
 // SurrogateFit trains a surrogate on the observations collected so far.
+//
+// Deprecated: implement gp.Surrogate and set SurrogateConfig.Model instead;
+// a func override forces a full retrain on every observation.
 type SurrogateFit func(xs [][]float64, ys []float64) (Surrogate, error)
 
 // Result reports one optimization run.

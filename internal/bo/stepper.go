@@ -24,8 +24,7 @@ type Tuner struct {
 	extra Extra
 	pen   Penalty
 	rng   *simrand.Rand
-	fit   SurrogateFit    // custom surrogate override (nil = incremental GP)
-	inc   *gp.Incremental // default surrogate: incremental GP with scheduled re-selection
+	sur   gp.Surrogate // the response-surface model (exact GP, sparse GP, or override)
 
 	queue []conf.Config // bootstrap configurations not yet suggested
 
@@ -78,24 +77,41 @@ func NewTuner(sp tune.Space, opts Options, extra Extra, penalty Penalty) *Tuner 
 		}
 	}
 
-	t.fit = opts.Fit
-	if t.fit == nil {
-		// Default surrogate: a grid-tuned GP absorbing new observations
-		// through O(n²) appends, with the hyperparameter grid search
-		// throttled to the RefitEvery/RefitDrift schedule.
-		t.inc = &gp.Incremental{
-			Kind:       opts.Kernel,
-			BaseDims:   sp.Dim(),
-			RefitEvery: opts.RefitEvery,
-			LMLDrift:   opts.RefitDrift,
-			AppendHist: opts.SurrogateAppendHist,
-			RefitHist:  opts.SurrogateRefitHist,
+	t.sur = opts.Surrogate.Model
+	if t.sur == nil {
+		// Default surrogate: a hyperparameter-tuned GP (grid + ARD gradient
+		// ascent) absorbing new observations through O(n²) appends, with
+		// re-selection throttled to the RefitEvery/RefitDrift schedule. A
+		// positive Budget swaps in the budgeted sparse variant, which
+		// compresses the active set so long sessions keep m-point cost.
+		sc := opts.Surrogate
+		if sc.Budget > 0 {
+			t.sur = &gp.Sparse{
+				Kind:       sc.Kernel,
+				BaseDims:   sp.Dim(),
+				Budget:     sc.Budget,
+				RefitEvery: sc.RefitEvery,
+				LMLDrift:   sc.RefitDrift,
+				ARDIters:   sc.ARDIters,
+				AppendHist: opts.SurrogateAppendHist,
+				RefitHist:  opts.SurrogateRefitHist,
+			}
+		} else {
+			t.sur = &gp.Incremental{
+				Kind:       sc.Kernel,
+				BaseDims:   sp.Dim(),
+				RefitEvery: sc.RefitEvery,
+				LMLDrift:   sc.RefitDrift,
+				ARDIters:   sc.ARDIters,
+				AppendHist: opts.SurrogateAppendHist,
+				RefitHist:  opts.SurrogateRefitHist,
+			}
 		}
 	}
 
 	// Prior observations (model re-use) mark their configurations as seen
 	// so the acquisition proposes genuinely new points.
-	for _, p := range opts.Prior {
+	for _, p := range opts.Surrogate.Prior {
 		t.seen[p.Cfg] = true
 	}
 
@@ -116,7 +132,8 @@ func (t *Tuner) WarmStart(points []PriorPoint) {
 	if len(points) == 0 {
 		return
 	}
-	t.opts.Prior = append([]PriorPoint(nil), points...)
+	t.opts.Surrogate.Prior = append([]PriorPoint(nil), points...)
+	t.opts.Prior = t.opts.Surrogate.Prior
 	best := points[0]
 	for _, p := range points {
 		t.seen[p.Cfg] = true
@@ -145,10 +162,11 @@ func (t *Tuner) WarmStart(points []PriorPoint) {
 func (t *Tuner) buildFeatures() ([][]float64, []float64) {
 	rows := t.featRows[:0]
 	ys := t.featYs[:0]
+	prior := t.opts.Surrogate.Prior
 	if t.extra == nil {
-		for i := range t.opts.Prior {
-			rows = append(rows, t.opts.Prior[i].X)
-			ys = append(ys, t.opts.Prior[i].Y)
+		for i := range prior {
+			rows = append(rows, prior[i].X)
+			ys = append(ys, prior[i].Y)
 		}
 		rows = append(rows, t.rawXs...)
 		ys = append(ys, t.ys...)
@@ -161,7 +179,7 @@ func (t *Tuner) buildFeatures() ([][]float64, []float64) {
 			flat = append(flat, t.extra(x, cfg)...)
 			ys = append(ys, y)
 		}
-		for _, p := range t.opts.Prior {
+		for _, p := range prior {
 			add(p.X, p.Cfg, p.Y)
 		}
 		for i := range t.rawXs {
@@ -177,16 +195,17 @@ func (t *Tuner) buildFeatures() ([][]float64, []float64) {
 	return rows, ys
 }
 
-// SurrogateStats reports the default surrogate's cumulative hyperparameter
-// grid selections and incremental appends — the observability hook for
-// tests and service metrics. Both are zero when Options.Fit overrides the
-// surrogate.
+// SurrogateStats reports the surrogate's cumulative hyperparameter
+// selections and incremental appends — the observability hook for tests and
+// service metrics. SurrogateInfo carries the full counter set.
 func (t *Tuner) SurrogateStats() (fits, appends int) {
-	if t.inc == nil {
-		return 0, 0
-	}
-	return t.inc.Stats()
+	st := t.sur.Stats()
+	return st.Fits, st.Appends
 }
+
+// SurrogateInfo reports the surrogate's full work counters, including the
+// compactions a budgeted model performed to stay within its point cap.
+func (t *Tuner) SurrogateInfo() gp.SurrogateStats { return t.sur.Stats() }
 
 // advance computes the next suggestion or fires the stopping rule. It is
 // called from the constructor and after every observation, mirroring one
@@ -212,24 +231,17 @@ func (t *Tuner) advance() {
 	// incremental surrogate reconciles: it appends only the new tail when
 	// the prefix is unchanged and refits when features shifted under it.
 	feats, fitYs := t.buildFeatures()
-	var model Surrogate
-	var err error
-	if t.inc != nil {
-		model, err = t.inc.SetData(feats, fitYs)
-	} else {
-		model, err = t.fit(feats, fitYs)
-	}
-	if err != nil {
+	if err := t.sur.SetData(feats, fitYs); err != nil {
 		t.done = true
 		return
 	}
-	t.model = model
+	t.model = surrogateModel{s: t.sur}
 
 	// The incumbent for the EI criterion includes (rescaled) prior
 	// observations: with a trusted warm start, marginal improvements over
 	// what the prior already located are not worth new experiments.
 	tau := bestObjective(t.ys)
-	for _, p := range t.opts.Prior {
+	for _, p := range t.opts.Surrogate.Prior {
 		if p.Y < tau {
 			tau = p.Y
 		}
@@ -238,7 +250,7 @@ func (t *Tuner) advance() {
 	if t.opts.AcquisitionHist != nil {
 		acqStart = time.Now()
 	}
-	x, ei := t.maximizeEI(model, tau)
+	x, ei := t.maximizeEI(t.sur, tau)
 	if !acqStart.IsZero() {
 		t.opts.AcquisitionHist.Record(time.Since(acqStart))
 	}

@@ -1,0 +1,78 @@
+package bo
+
+import (
+	"math"
+
+	"relm/internal/gp"
+)
+
+// fitSurrogate adapts the deprecated func-valued SurrogateFit override onto
+// the gp.Surrogate interface: it keeps its own copy of the full observation
+// matrix and retrains from scratch on every data change — the behavior the
+// func override always had, now expressed through the same seam as the real
+// models.
+type fitSurrogate struct {
+	fn    SurrogateFit
+	xs    [][]float64
+	ys    []float64
+	model Surrogate
+	stats gp.SurrogateStats
+}
+
+var _ gp.Surrogate = (*fitSurrogate)(nil)
+
+func (f *fitSurrogate) SetData(xs [][]float64, ys []float64) error {
+	f.xs = f.xs[:0]
+	for _, x := range xs {
+		f.xs = append(f.xs, append([]float64(nil), x...))
+	}
+	f.ys = append(f.ys[:0], ys...)
+	return f.retrain()
+}
+
+func (f *fitSurrogate) Append(x []float64, y float64) error {
+	f.xs = append(f.xs, append([]float64(nil), x...))
+	f.ys = append(f.ys, y)
+	f.stats.Appends++
+	return f.retrain()
+}
+
+func (f *fitSurrogate) retrain() error {
+	m, err := f.fn(f.xs, f.ys)
+	if err != nil {
+		return err
+	}
+	f.model = m
+	f.stats.Fits++
+	return nil
+}
+
+func (f *fitSurrogate) PredictInto(x []float64, _ *gp.Scratch) (mean, variance float64) {
+	if f.model == nil {
+		return 0, 1
+	}
+	return f.model.Predict(x)
+}
+
+func (f *fitSurrogate) PredictBatch(xs [][]float64, means, vars []float64, _ *gp.Scratch) {
+	for i, x := range xs {
+		means[i], vars[i] = f.PredictInto(x, nil)
+	}
+}
+
+func (f *fitSurrogate) LogMarginalLikelihood() float64 { return math.NaN() }
+
+func (f *fitSurrogate) Stats() gp.SurrogateStats { return f.stats }
+
+// surrogateModel exposes a gp.Surrogate through the legacy Predict-only
+// Surrogate interface for Result.FinalModel consumers. Each Predict uses a
+// fresh scratch, so the view is safe to share across goroutines (matching
+// the old *gp.GP FinalModel).
+type surrogateModel struct {
+	s gp.Surrogate
+}
+
+func (m surrogateModel) Predict(x []float64) (mean, variance float64) {
+	var sc gp.Scratch
+	return m.s.PredictInto(x, &sc)
+}

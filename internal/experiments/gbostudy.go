@@ -203,9 +203,7 @@ func Figure26(c Config) *Figure26Result {
 				seed := c.seed() + uint64(rep*31+len(variant))
 				opts := bo.Options{Seed: seed, UsePaperLHS: rep == 0}
 				if strings.HasSuffix(variant, "-RF") {
-					opts.Fit = func(xs [][]float64, ys []float64) (bo.Surrogate, error) {
-						return rf.Train(xs, ys, rf.Options{Seed: seed}), nil
-					}
+					opts.Surrogate.Model = &rf.Surrogate{Opts: rf.Options{Seed: seed}}
 				}
 				ev := tune.NewEvaluator(cl, wl, seed)
 				var run bo.Result

@@ -3,6 +3,7 @@ package gbo
 import (
 	"relm/internal/bo"
 	"relm/internal/conf"
+	"relm/internal/gp"
 	"relm/internal/sim/cluster"
 	"relm/internal/tune"
 )
@@ -72,6 +73,10 @@ func (t *Tuner) Model() *Model { return t.model }
 // reconciling path: when Q matures it rewrites every feature row, which
 // the incremental surrogate answers with one full re-selection.
 func (t *Tuner) SurrogateStats() (fits, appends int) { return t.inner.SurrogateStats() }
+
+// SurrogateInfo reports the inner surrogate's full work counters, including
+// budget compactions.
+func (t *Tuner) SurrogateInfo() gp.SurrogateStats { return t.inner.SurrogateInfo() }
 
 // Result assembles the batch-style report from the steps taken so far.
 func (t *Tuner) Result() bo.Result { return t.inner.Result() }

@@ -1,0 +1,77 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"relm/internal/simrand"
+)
+
+// Satellite acceptance: ARD refinement accepts a step only when the log
+// marginal likelihood improves, so FitBestARD never returns a model below
+// the grid starting point — for either kernel family.
+func TestARDNeverBelowGrid(t *testing.T) {
+	rng := simrand.New(77)
+	for trial := 0; trial < 6; trial++ {
+		dim := 2 + rng.Intn(3)
+		n := 12 + rng.Intn(28)
+		xs, ys := synth(rng, n, dim)
+		for _, kind := range []string{"rbf", "matern52"} {
+			grid, err := FitBestARD(kind, xs, ys, dim, -1) // pure grid
+			if err != nil {
+				t.Fatalf("trial %d %s: grid: %v", trial, kind, err)
+			}
+			ard, err := FitBestARD(kind, xs, ys, dim, 0) // default ascent budget
+			if err != nil {
+				t.Fatalf("trial %d %s: ard: %v", trial, kind, err)
+			}
+			gl, al := grid.LogMarginalLikelihood(), ard.LogMarginalLikelihood()
+			if al < gl-1e-9 {
+				t.Fatalf("trial %d %s: ARD returned LML %v below grid %v", trial, kind, al, gl)
+			}
+		}
+	}
+}
+
+// Negative iters must return the untouched grid selection.
+func TestARDNegativeItersIsPureGrid(t *testing.T) {
+	rng := simrand.New(88)
+	xs, ys := synth(rng, 20, 3)
+	grid, err := FitBestGrouped("rbf", xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := FitBestARD("rbf", xs, ys, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl, pl := grid.LogMarginalLikelihood(), pure.LogMarginalLikelihood(); gl != pl {
+		t.Fatalf("iters<0 should be the grid result: LML %v vs %v", pl, gl)
+	}
+}
+
+// On a strongly anisotropic surface — one active dimension, one pure noise
+// dimension — the per-dimension ascent should strictly beat the grouped
+// grid, which is forced to share one length across both.
+func TestARDImprovesAnisotropicFit(t *testing.T) {
+	rng := simrand.New(99)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(9*x[0])+rng.Norm(0, 0.01))
+	}
+	grid, err := FitBestARD("rbf", xs, ys, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ard, err := FitBestARD("rbf", xs, ys, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ard.LogMarginalLikelihood() <= grid.LogMarginalLikelihood() {
+		t.Fatalf("ARD did not improve an anisotropic fit: %v vs grid %v",
+			ard.LogMarginalLikelihood(), grid.LogMarginalLikelihood())
+	}
+}

@@ -95,6 +95,85 @@ func BenchmarkGPFitPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkGPSparse measures the budgeted surrogate at stream lengths far
+// past its active-set cap — the regime the budget exists for:
+//
+//   - append: absorbing one observation into an at-budget active set — a
+//     conditional-variance score, an eviction (or rejection), and a
+//     bordered re-append, all O(m²) in the budget m, independent of the
+//     stream length n.
+//   - predict: one allocation-free posterior evaluation through the capped
+//     active set.
+//   - predict=exact/n=256: the exact model at the budget size — the floor
+//     the budgeted predict is gated against. CI enforces
+//     predict/n=10000 ≤ 1.5× predict=exact/n=256 as a hardware-independent
+//     ratio gate, plus 0 allocs/op on the budgeted predict: a 10k-point
+//     session must predict like a 256-point one.
+//
+// Re-selection is suppressed (huge RefitEvery, drift and ARD disabled) so
+// the timings isolate the steady-state paths from the scheduled O(m³)
+// hyperparameter searches.
+func BenchmarkGPSparse(b *testing.B) {
+	const dim, budget = 6, 256
+
+	build := func(b *testing.B, n int) (*Sparse, [][]float64, []float64) {
+		xs, ys := benchData(n+512, dim)
+		s := &Sparse{Kind: "rbf", BaseDims: dim, Budget: budget,
+			RefitEvery: 1 << 30, LMLDrift: -1, ARDIters: -1}
+		if err := s.SetData(xs[:n], ys[:n]); err != nil {
+			b.Fatal(err)
+		}
+		return s, xs, ys
+	}
+
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("append/n=%d", n), func(b *testing.B) {
+			s, xs, ys := build(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := n + i%512
+				if err := s.Append(xs[j], ys[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("predict/n=%d", n), func(b *testing.B) {
+			s, xs, _ := build(b, n)
+			x := xs[n]
+			var sc Scratch
+			s.PredictInto(x, &sc) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, v := s.PredictInto(x, &sc); v <= 0 {
+					b.Fatal("bad variance")
+				}
+			}
+		})
+	}
+
+	b.Run("predict=exact/n=256", func(b *testing.B) {
+		xs, ys := benchData(budget+1, dim)
+		inc := &Incremental{Kind: "rbf", BaseDims: dim,
+			RefitEvery: 1 << 30, LMLDrift: -1, ARDIters: -1}
+		if err := inc.SetData(xs[:budget], ys[:budget]); err != nil {
+			b.Fatal(err)
+		}
+		x := xs[budget]
+		var sc Scratch
+		inc.PredictInto(x, &sc) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, v := inc.PredictInto(x, &sc); v <= 0 {
+				b.Fatal("bad variance")
+			}
+		}
+	})
+}
+
 func benchData(n, dim int) ([][]float64, []float64) {
 	rng := simrand.New(1234)
 	xs := make([][]float64, n)

@@ -236,6 +236,32 @@ func (g *GP) Append(x []float64, y float64) error {
 	return nil
 }
 
+// deleteAt removes training point j from the fitted process in O((n-j)²):
+// the cached Cholesky factor shrinks by the matching row/column (a compact
+// plus a rank-1 update of the trailing block — no refactorization), targets
+// are re-standardized, and the dual weights re-solved. This is the eviction
+// half of the budgeted Sparse surrogate's replace cycle; together with
+// Append it swaps a point in O(n²).
+func (g *GP) deleteAt(j int) {
+	n := len(g.xs)
+	if j < 0 || j >= n {
+		return
+	}
+	if n == 1 {
+		g.xs, g.ys = g.xs[:0], g.ys[:0]
+		g.yn, g.alpha = g.yn[:0], g.alpha[:0]
+		g.chol = nil
+		return
+	}
+	g.kbuf = growVec(g.kbuf, n)
+	g.chol = linalg.CholDeleteRowCol(g.chol, j, g.kbuf)
+	copy(g.xs[j:], g.xs[j+1:])
+	g.xs = g.xs[:n-1]
+	copy(g.ys[j:], g.ys[j+1:])
+	g.ys = g.ys[:n-1]
+	g.restandardize()
+}
+
 // restandardize recomputes the target standardization and dual weights from
 // the raw targets and the current factor, in O(n²) and without allocating
 // once the buffers have grown to size.

@@ -1,17 +1,19 @@
 package gp
 
 import (
+	"math"
 	"time"
 
 	"relm/internal/obs"
 )
 
-// Incremental maintains a grid-tuned GP over a growing observation set,
-// absorbing new points through O(n²) Append and throttling the O(n³)
-// hyperparameter grid search (FitBestGrouped) to a schedule: every
-// RefitEvery appends, or earlier when the per-point log marginal likelihood
-// drifts down by more than LMLDrift — the signal that the length scales
-// selected a few observations ago no longer explain the data.
+// Incremental is the exact Surrogate: a hyperparameter-tuned GP over the
+// full growing observation set, absorbing new points through O(n²) Append
+// and throttling the O(n³) hyperparameter selection (the coarse grid of
+// FitBestGrouped refined by ARD gradient ascent, FitBestARD) to a schedule:
+// every RefitEvery appends, or earlier when the per-point log marginal
+// likelihood drifts down by more than LMLDrift — the signal that the length
+// scales selected a few observations ago no longer explain the data.
 //
 // SetData is reconciling rather than purely appending: callers hand it the
 // full (features, targets) matrix each round, and it appends only the new
@@ -31,8 +33,12 @@ type Incremental struct {
 	// has dropped this much since the last selection (default 0.25; ≤0
 	// disables the drift trigger).
 	LMLDrift float64
+	// ARDIters bounds the per-dimension length-scale gradient ascent run
+	// on top of the grid at each re-selection (default 6; negative
+	// disables ARD and restores the pure grid).
+	ARDIters int
 	// AppendHist/RefitHist, when set, record the latency of the
-	// incremental-append path vs. the full grid re-selection, so a slow
+	// incremental-append path vs. the full re-selection, so a slow
 	// observe can be attributed to the right half of the surrogate.
 	AppendHist *obs.Histogram
 	RefitHist  *obs.Histogram
@@ -41,8 +47,7 @@ type Incremental struct {
 	appends int
 	selLML  float64 // per-point LML right after the last selection
 
-	fits         int // cumulative full grid selections
-	appendsTotal int // cumulative incremental appends
+	stats SurrogateStats
 }
 
 func (inc *Incremental) fill() {
@@ -52,18 +57,21 @@ func (inc *Incremental) fill() {
 	if inc.LMLDrift == 0 {
 		inc.LMLDrift = 0.25
 	}
+	if inc.ARDIters == 0 {
+		inc.ARDIters = DefaultARDIters
+	}
 }
 
-// SetData reconciles the model with the full observation matrix and returns
-// it. xs rows are copied when retained, so callers may reuse their buffers.
-func (inc *Incremental) SetData(xs [][]float64, ys []float64) (*GP, error) {
+// SetData reconciles the model with the full observation matrix. xs rows
+// are copied when retained, so callers may reuse their buffers.
+func (inc *Incremental) SetData(xs [][]float64, ys []float64) error {
 	inc.fill()
 	if inc.gp == nil || !inc.prefixUnchanged(xs, ys) {
 		return inc.refit(xs, ys)
 	}
 	g := inc.gp
 	// When absorbing the new tail would land on the schedule anyway, skip
-	// straight to the grid selection instead of appending work it would
+	// straight to the re-selection instead of appending work it would
 	// discard (RefitEvery=1 therefore never appends).
 	if inc.appends+(len(xs)-len(g.xs)) >= inc.RefitEvery {
 		return inc.refit(xs, ys)
@@ -77,7 +85,7 @@ func (inc *Incremental) SetData(xs [][]float64, ys []float64) (*GP, error) {
 			return inc.refit(xs, ys)
 		}
 		inc.appends++
-		inc.appendsTotal++
+		inc.stats.Appends++
 	}
 	if !appendStart.IsZero() {
 		inc.AppendHist.Record(time.Since(appendStart))
@@ -87,17 +95,76 @@ func (inc *Incremental) SetData(xs [][]float64, ys []float64) (*GP, error) {
 			return inc.refit(xs, ys)
 		}
 	}
-	return g, nil
+	return nil
+}
+
+// Append conditions the model on one additional observation through the
+// same schedule as SetData.
+func (inc *Incremental) Append(x []float64, y float64) error {
+	inc.fill()
+	if inc.gp == nil {
+		return inc.refit([][]float64{x}, []float64{y})
+	}
+	g := inc.gp
+	if inc.appends+1 >= inc.RefitEvery {
+		return inc.refit(append(g.xs[:len(g.xs):len(g.xs)], x), append(g.ys[:len(g.ys):len(g.ys)], y))
+	}
+	var appendStart time.Time
+	if inc.AppendHist != nil {
+		appendStart = time.Now()
+	}
+	if err := g.Append(x, y); err != nil {
+		return inc.refit(g.xs, g.ys)
+	}
+	inc.appends++
+	inc.stats.Appends++
+	if !appendStart.IsZero() {
+		inc.AppendHist.Record(time.Since(appendStart))
+	}
+	if inc.LMLDrift > 0 {
+		if inc.selLML-g.LogMarginalLikelihood()/float64(g.N()) > inc.LMLDrift {
+			return inc.refit(g.xs, g.ys)
+		}
+	}
+	return nil
+}
+
+// PredictInto evaluates the posterior at x through caller-owned scratch,
+// allocation-free. An unfitted model predicts the prior (0, 1).
+func (inc *Incremental) PredictInto(x []float64, s *Scratch) (mean, variance float64) {
+	if inc.gp == nil {
+		return 0, 1
+	}
+	return inc.gp.PredictInto(x, s)
+}
+
+// PredictBatch scores a batch of candidates through one scratch.
+func (inc *Incremental) PredictBatch(xs [][]float64, means, vars []float64, s *Scratch) {
+	if inc.gp == nil {
+		for i := range xs {
+			means[i], vars[i] = 0, 1
+		}
+		return
+	}
+	inc.gp.PredictBatch(xs, means, vars, s)
+}
+
+// LogMarginalLikelihood reports the fitted model's selection objective
+// (-Inf before the first fit).
+func (inc *Incremental) LogMarginalLikelihood() float64 {
+	if inc.gp == nil {
+		return math.Inf(-1)
+	}
+	return inc.gp.LogMarginalLikelihood()
 }
 
 // Model returns the current GP (nil before the first successful SetData).
 func (inc *Incremental) Model() *GP { return inc.gp }
 
-// Stats reports cumulative full grid selections and incremental appends —
-// the observability hook for tests and metrics.
-func (inc *Incremental) Stats() (fits, appends int) {
-	return inc.fits, inc.appendsTotal
-}
+// Stats reports the cumulative work counters — the observability hook for
+// tests and metrics. Compactions is always zero: the exact model never
+// evicts.
+func (inc *Incremental) Stats() SurrogateStats { return inc.stats }
 
 // prefixUnchanged reports whether the model's conditioned data is exactly
 // the leading rows of (xs, ys). Exact float equality is the right test:
@@ -125,21 +192,21 @@ func (inc *Incremental) prefixUnchanged(xs [][]float64, ys []float64) bool {
 	return true
 }
 
-func (inc *Incremental) refit(xs [][]float64, ys []float64) (*GP, error) {
+func (inc *Incremental) refit(xs [][]float64, ys []float64) error {
 	var start time.Time
 	if inc.RefitHist != nil {
 		start = time.Now()
 	}
-	g, err := FitBestGrouped(inc.Kind, xs, ys, inc.BaseDims)
+	g, err := FitBestARD(inc.Kind, xs, ys, inc.BaseDims, inc.ARDIters)
 	if !start.IsZero() {
 		inc.RefitHist.Record(time.Since(start))
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inc.gp = g
 	inc.appends = 0
-	inc.fits++
+	inc.stats.Fits++
 	inc.selLML = g.LogMarginalLikelihood() / float64(len(xs))
-	return g, nil
+	return nil
 }

@@ -154,28 +154,26 @@ func TestIncrementalSchedule(t *testing.T) {
 	xs, ys := synth(rng, 30, 3)
 	inc := &Incremental{Kind: "rbf", BaseDims: 3, RefitEvery: 4, LMLDrift: -1}
 
-	if _, err := inc.SetData(xs[:5], ys[:5]); err != nil {
+	if err := inc.SetData(xs[:5], ys[:5]); err != nil {
 		t.Fatal(err)
 	}
-	fits0, _ := inc.Stats()
-	if fits0 != 1 {
-		t.Fatalf("first SetData: fits = %d, want 1", fits0)
+	if st := inc.Stats(); st.Fits != 1 {
+		t.Fatalf("first SetData: fits = %d, want 1", st.Fits)
 	}
 	for i := 6; i <= 8; i++ {
-		if _, err := inc.SetData(xs[:i], ys[:i]); err != nil {
+		if err := inc.SetData(xs[:i], ys[:i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	fits, appends := inc.Stats()
-	if fits != 1 || appends != 3 {
-		t.Fatalf("after 3 streamed points: fits = %d appends = %d, want 1 and 3", fits, appends)
+	if st := inc.Stats(); st.Fits != 1 || st.Appends != 3 {
+		t.Fatalf("after 3 streamed points: fits = %d appends = %d, want 1 and 3", st.Fits, st.Appends)
 	}
 	// The 4th append hits the schedule and triggers a re-selection.
-	if _, err := inc.SetData(xs[:9], ys[:9]); err != nil {
+	if err := inc.SetData(xs[:9], ys[:9]); err != nil {
 		t.Fatal(err)
 	}
-	if fits, _ := inc.Stats(); fits != 2 {
-		t.Fatalf("schedule did not trigger re-selection: fits = %d, want 2", fits)
+	if st := inc.Stats(); st.Fits != 2 {
+		t.Fatalf("schedule did not trigger re-selection: fits = %d, want 2", st.Fits)
 	}
 
 	// Retroactive feature change: every row gains a dimension.
@@ -183,11 +181,11 @@ func TestIncrementalSchedule(t *testing.T) {
 	for i := range wide {
 		wide[i] = append(append([]float64(nil), xs[i]...), 0.5)
 	}
-	if _, err := inc.SetData(wide, ys[:10]); err != nil {
+	if err := inc.SetData(wide, ys[:10]); err != nil {
 		t.Fatal(err)
 	}
-	if fits, _ := inc.Stats(); fits != 3 {
-		t.Fatalf("prefix change did not force a re-selection: fits = %d, want 3", fits)
+	if st := inc.Stats(); st.Fits != 3 {
+		t.Fatalf("prefix change did not force a re-selection: fits = %d, want 3", st.Fits)
 	}
 	if got := inc.Model().N(); got != 10 {
 		t.Fatalf("model holds %d points, want 10", got)
@@ -196,21 +194,20 @@ func TestIncrementalSchedule(t *testing.T) {
 
 // The scheduled model must stay close to what per-observation re-selection
 // would produce: the refit fallback (here forced by drift or schedule)
-// equals batch FitBestGrouped on the same data.
+// equals batch FitBestARD on the same data.
 func TestIncrementalRefitMatchesBatchSelection(t *testing.T) {
 	rng := simrand.New(31)
 	xs, ys := synth(rng, 24, 3)
 	inc := &Incremental{Kind: "rbf", BaseDims: 3, RefitEvery: 4, LMLDrift: -1}
-	var got *GP
-	var err error
 	for i := 4; i <= len(xs); i++ {
-		if got, err = inc.SetData(xs[:i], ys[:i]); err != nil {
+		if err := inc.SetData(xs[:i], ys[:i]); err != nil {
 			t.Fatal(err)
 		}
 	}
+	got := inc.Model()
 	// 24 points with RefitEvery=4: the final SetData lands exactly on a
 	// scheduled re-selection, so the model must match batch selection.
-	want, err := FitBestGrouped("rbf", xs, ys, 3)
+	want, err := FitBestARD("rbf", xs, ys, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

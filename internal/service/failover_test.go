@@ -343,26 +343,55 @@ func TestCreateWithExplicitPrior(t *testing.T) {
 
 // TestAutoSessionHandoffCarriesPrior: auto sessions are not replayed
 // observation by observation — their own history becomes the successor's
-// prior and a worker re-drives them.
+// prior and a worker re-drives them. The crashed WAL is journaled by hand
+// (create + observes, no terminal event — exactly what a mid-flight worker
+// leaves behind) so the test never races a live worker to the stopping
+// rule.
 func TestAutoSessionHandoffCarriesPrior(t *testing.T) {
+	// Generate two measured configurations with a throwaway remote session
+	// of the same backend/workload/seed.
+	gen := NewManager(Options{Workers: 1})
+	gst, err := gen.Create(Spec{Backend: "bo", Workload: "SVM", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obsns []Observation
+	for i := 0; i < 2; i++ {
+		cfg, _, err := gen.Suggest(gst.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := measure(t, "", "SVM", Observation{Config: cfg}, uint64(i))
+		if _, err := gen.Observe(gst.ID, o); err != nil {
+			t.Fatal(err)
+		}
+		obsns = append(obsns, o)
+	}
+	crash(gen)
+
 	dir := t.TempDir()
 	fs, err := store.OpenFile(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Open(Options{Workers: 1, Store: fs})
-	if err != nil {
+	spec := Spec{Backend: "bo", Workload: "SVM", Mode: ModeAuto, Seed: 2, MaxIterations: 40}
+	now := time.Now()
+	if _, err := fs.Append(&store.Event{Type: store.EventCreate, ID: "a-sess-1", Time: now, Spec: specRecord(spec)}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.Create(Spec{Backend: "bo", Workload: "SVM", Mode: ModeAuto, Seed: 2, MaxIterations: 40})
-	if err != nil {
+	for i, o := range obsns {
+		ev := &store.Event{Type: store.EventObserve, ID: "a-sess-1", Time: now, N: i, Obs: &store.Observation{
+			Config: o.Config, RuntimeSec: o.RuntimeSec, Aborted: o.Aborted, Stats: o.Stats,
+		}}
+		if _, err := fs.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Wait until the worker has recorded some observations, then kill.
-	waitEvals(t, m, st.ID, 2)
-	crash(m)
 
-	rep, err := ExtractHandoff(copyDir(t, dir), "a")
+	rep, err := ExtractHandoff(dir, "a")
 	if err != nil {
 		t.Fatal(err)
 	}

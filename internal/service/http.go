@@ -80,6 +80,31 @@ type CreateRequest struct {
 	PriorSource   string          `json:"prior_source,omitempty"`
 	PriorCluster  string          `json:"prior_cluster,omitempty"`
 	PriorDistance float64         `json:"prior_distance,omitempty"`
+
+	// Surrogate configures the BO/GBO response-surface model (kernel,
+	// active-set budget, refit schedule).
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
+
+	// Deprecated: flat aliases of the Surrogate object's fields, kept so
+	// pre-object clients keep working. Ignored when surrogate is present.
+	Kernel          string  `json:"kernel,omitempty"`
+	SurrogateBudget int     `json:"surrogate_budget,omitempty"`
+	RefitEvery      int     `json:"refit_every,omitempty"`
+	RefitDrift      float64 `json:"refit_drift,omitempty"`
+}
+
+// surrogateSpec resolves the request's surrogate configuration: the nested
+// object when present, otherwise the deprecated flat aliases.
+func (req *CreateRequest) surrogateSpec() SurrogateSpec {
+	if req.Surrogate != nil {
+		return *req.Surrogate
+	}
+	return SurrogateSpec{
+		Kernel:     req.Kernel,
+		Budget:     req.SurrogateBudget,
+		RefitEvery: req.RefitEvery,
+		RefitDrift: req.RefitDrift,
+	}
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe.
@@ -123,6 +148,10 @@ type StatusResponse struct {
 	WarmStarted  bool    `json:"warm_started,omitempty"`
 	WarmSource   string  `json:"warm_source,omitempty"`
 	WarmDistance float64 `json:"warm_distance,omitempty"`
+
+	// Surrogate is the resolved surrogate configuration and its work
+	// counters (BO/GBO sessions only).
+	Surrogate *SurrogateStatus `json:"surrogate,omitempty"`
 }
 
 // HistoryJSON is one recorded experiment on the wire. Suggested reports
@@ -150,22 +179,25 @@ type MetricsResponse struct {
 	WarmStarts       int64          `json:"warm_starts"`
 	SurrogateFits    int64          `json:"surrogate_fits,omitempty"`
 	SurrogateAppends int64          `json:"surrogate_appends,omitempty"`
-	RepoEntries      int            `json:"repo_entries"`
-	RepoCapacity     int            `json:"repo_capacity,omitempty"`
-	RepoHits         int64          `json:"repo_hits,omitempty"`
-	RepoEvictions    int64          `json:"repo_evictions,omitempty"`
-	Persistence      bool           `json:"persistence"`
-	Replication      bool           `json:"replication,omitempty"`
-	WALBytes         int64          `json:"wal_bytes,omitempty"`
-	WALEvents        uint64         `json:"wal_events,omitempty"`
-	WALSegments      int            `json:"wal_segments,omitempty"`
-	PrunedSegments   uint64         `json:"pruned_segments,omitempty"`
-	CommitBatches    uint64         `json:"commit_batches,omitempty"`
-	BatchedEvents    uint64         `json:"batched_events,omitempty"`
-	Snapshots        uint64         `json:"snapshots,omitempty"`
-	SnapshotBytes    int64          `json:"snapshot_bytes,omitempty"`
-	LastCompaction   *time.Time     `json:"last_compaction,omitempty"`
-	JournalError     string         `json:"journal_error,omitempty"`
+	// SurrogateCompactions stays a top-level numeric (like fits/appends) so
+	// the router's metrics fan-out sums it cluster-wide.
+	SurrogateCompactions int64      `json:"surrogate_compactions,omitempty"`
+	RepoEntries          int        `json:"repo_entries"`
+	RepoCapacity         int        `json:"repo_capacity,omitempty"`
+	RepoHits             int64      `json:"repo_hits,omitempty"`
+	RepoEvictions        int64      `json:"repo_evictions,omitempty"`
+	Persistence          bool       `json:"persistence"`
+	Replication          bool       `json:"replication,omitempty"`
+	WALBytes             int64      `json:"wal_bytes,omitempty"`
+	WALEvents            uint64     `json:"wal_events,omitempty"`
+	WALSegments          int        `json:"wal_segments,omitempty"`
+	PrunedSegments       uint64     `json:"pruned_segments,omitempty"`
+	CommitBatches        uint64     `json:"commit_batches,omitempty"`
+	BatchedEvents        uint64     `json:"batched_events,omitempty"`
+	Snapshots            uint64     `json:"snapshots,omitempty"`
+	SnapshotBytes        int64      `json:"snapshot_bytes,omitempty"`
+	LastCompaction       *time.Time `json:"last_compaction,omitempty"`
+	JournalError         string     `json:"journal_error,omitempty"`
 
 	// Replication lag and ingest counters (internal/replica). Top-level
 	// numerics so the router's metrics fan-out sums them cluster-wide.
@@ -244,8 +276,16 @@ type RepoImportResponse struct {
 }
 
 // specToCreateRequest renders a Spec as the wire request that re-creates it.
+// The surrogate object is emitted only when set, keeping hand-off bodies for
+// default-surrogate sessions byte-identical to previous releases.
 func specToCreateRequest(spec Spec) CreateRequest {
+	var sur *SurrogateSpec
+	if spec.Surrogate != (SurrogateSpec{}) {
+		s := spec.Surrogate
+		sur = &s
+	}
 	return CreateRequest{
+		Surrogate:         sur,
 		Backend:           spec.Backend,
 		Workload:          spec.Workload,
 		Cluster:           spec.Cluster,
@@ -351,6 +391,7 @@ func toStatusResponse(st Status) StatusResponse {
 	resp.WarmStarted = st.WarmStarted
 	resp.WarmSource = st.WarmSource
 	resp.WarmDistance = st.WarmDistance
+	resp.Surrogate = st.Surrogate
 	if st.Best != nil {
 		resp.Best = &BestJSON{
 			Config:     toConfigJSON(st.Best.Config),
@@ -413,6 +454,7 @@ func NewHandler(m *Manager) http.Handler {
 			PriorSource:       req.PriorSource,
 			PriorCluster:      req.PriorCluster,
 			PriorDistance:     req.PriorDistance,
+			Surrogate:         req.surrogateSpec(),
 		})
 		obs.TraceFrom(r.Context()).AddSpan("service.create", spanStart)
 		if err != nil {
@@ -496,22 +538,23 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		mt := m.Metrics()
 		resp := MetricsResponse{
-			Node:             mt.Node,
-			Draining:         mt.Draining,
-			Sessions:         mt.Sessions,
-			SessionsByState:  mt.SessionsByState,
-			Observations:     mt.Observations,
-			Evictions:        mt.Evictions,
-			WarmStarts:       mt.WarmStarts,
-			SurrogateFits:    mt.SurrogateFits,
-			SurrogateAppends: mt.SurrogateAppends,
-			RepoEntries:      mt.RepoEntries,
-			RepoCapacity:     mt.RepoCapacity,
-			RepoHits:         mt.RepoHits,
-			RepoEvictions:    mt.RepoEvictions,
-			Persistence:      mt.Persistence,
-			Replication:      mt.Replication,
-			JournalError:     mt.JournalError,
+			Node:                 mt.Node,
+			Draining:             mt.Draining,
+			Sessions:             mt.Sessions,
+			SessionsByState:      mt.SessionsByState,
+			Observations:         mt.Observations,
+			Evictions:            mt.Evictions,
+			WarmStarts:           mt.WarmStarts,
+			SurrogateFits:        mt.SurrogateFits,
+			SurrogateAppends:     mt.SurrogateAppends,
+			SurrogateCompactions: mt.SurrogateCompactions,
+			RepoEntries:          mt.RepoEntries,
+			RepoCapacity:         mt.RepoCapacity,
+			RepoHits:             mt.RepoHits,
+			RepoEvictions:        mt.RepoEvictions,
+			Persistence:          mt.Persistence,
+			Replication:          mt.Replication,
+			JournalError:         mt.JournalError,
 		}
 		if mt.Replication {
 			resp.ReplicaFollowers = mt.Replica.Followers
@@ -784,6 +827,7 @@ func writePromMetrics(w io.Writer, mt Metrics) {
 	p.Counter("relm_warm_starts_total", "Repository-seeded sessions.", float64(mt.WarmStarts))
 	p.Counter("relm_surrogate_fits_total", "Full surrogate hyperparameter selections.", float64(mt.SurrogateFits))
 	p.Counter("relm_surrogate_appends_total", "Incremental surrogate appends.", float64(mt.SurrogateAppends))
+	p.Counter("relm_surrogate_compactions_total", "Budgeted surrogate active-set compactions.", float64(mt.SurrogateCompactions))
 	p.Gauge("relm_repo_entries", "Model repository entries.", float64(mt.RepoEntries))
 	p.Counter("relm_repo_hits_total", "Warm-start repository matches.", float64(mt.RepoHits))
 	p.Counter("relm_repo_evictions_total", "Repository capacity evictions.", float64(mt.RepoEvictions))

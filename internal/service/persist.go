@@ -22,9 +22,11 @@ import (
 // snapshotter never stops the world, and a crash between the snapshot
 // rename and the log rewrite loses nothing.
 
-// specRecord converts a Spec to its durable form.
+// specRecord converts a Spec to its durable form. The surrogate block is
+// journaled only when set, so sessions on the default surrogate produce
+// the same record bytes as before the field existed.
 func specRecord(spec Spec) *store.SessionSpec {
-	return &store.SessionSpec{
+	rec := &store.SessionSpec{
 		Backend:         spec.Backend,
 		Workload:        spec.Workload,
 		Cluster:         spec.Cluster,
@@ -37,11 +39,20 @@ func specRecord(spec Spec) *store.SessionSpec {
 		Stats:           spec.Stats,
 		DefaultSec:      spec.DefaultRuntimeSec,
 	}
+	if spec.Surrogate != (SurrogateSpec{}) {
+		rec.Surrogate = &store.SurrogateSpec{
+			Kernel:     spec.Surrogate.Kernel,
+			Budget:     spec.Surrogate.Budget,
+			RefitEvery: spec.Surrogate.RefitEvery,
+			RefitDrift: spec.Surrogate.RefitDrift,
+		}
+	}
+	return rec
 }
 
 // specFromRecord is the inverse of specRecord.
 func specFromRecord(rec store.SessionSpec) Spec {
-	return Spec{
+	spec := Spec{
 		Backend:           rec.Backend,
 		Workload:          rec.Workload,
 		Cluster:           rec.Cluster,
@@ -54,6 +65,15 @@ func specFromRecord(rec store.SessionSpec) Spec {
 		Stats:             rec.Stats,
 		DefaultRuntimeSec: rec.DefaultSec,
 	}
+	if rec.Surrogate != nil {
+		spec.Surrogate = SurrogateSpec{
+			Kernel:     rec.Surrogate.Kernel,
+			Budget:     rec.Surrogate.Budget,
+			RefitEvery: rec.Surrogate.RefitEvery,
+			RefitDrift: rec.Surrogate.RefitDrift,
+		}
+	}
+	return spec
 }
 
 // journal appends one event to the store and returns its sequence number

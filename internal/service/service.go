@@ -43,6 +43,7 @@ import (
 	"relm/internal/core"
 	"relm/internal/ddpg"
 	"relm/internal/gbo"
+	"relm/internal/gp"
 	"relm/internal/obs"
 	"relm/internal/profile"
 	"relm/internal/replica"
@@ -110,6 +111,13 @@ type Options struct {
 	// grows. Harvested session IDs stay tombstoned, so an evicted entry is
 	// never resurrected by log replay.
 	RepoCapacity int
+	// SurrogateBudget is the default active-set cap applied to BO/GBO
+	// sessions whose Spec.Surrogate.Budget is 0: positive selects the
+	// budgeted sparse GP compressing to at most this many points, 0 (the
+	// default) keeps the exact incremental GP. Long-running auto sessions
+	// with thousands of observations should set this (256 is the paper's
+	// working point) so appends and predictions stay O(budget²).
+	SurrogateBudget int
 	// NodeID names this manager in a multi-node deployment. When set, it
 	// prefixes generated session IDs ("<node>-sess-N", cluster-unique
 	// without coordination) and is reported by /healthz, /v1/metrics, and
@@ -240,6 +248,46 @@ type Spec struct {
 	PriorSource   string
 	PriorCluster  string
 	PriorDistance float64
+
+	// Surrogate configures the BO/GBO response-surface model. The zero
+	// value selects the manager defaults (exact incremental GP, RBF
+	// kernel, Options.SurrogateBudget).
+	Surrogate SurrogateSpec
+}
+
+// SurrogateSpec configures a session's surrogate model (BO and GBO
+// backends; ignored by relm and ddpg). Doubles as the `surrogate` JSON
+// object on the HTTP wire.
+type SurrogateSpec struct {
+	// Kernel selects the kernel family: "rbf" (default) or "matern52".
+	Kernel string `json:"kernel,omitempty"`
+	// Budget caps the GP's active set: >0 selects the budgeted sparse GP
+	// compressing to at most Budget points, 0 inherits the manager's
+	// Options.SurrogateBudget, negative forces the exact GP.
+	Budget int `json:"budget,omitempty"`
+	// RefitEvery throttles hyperparameter re-selection to once per this
+	// many observations (0 = paper default of 8).
+	RefitEvery int `json:"refit_every,omitempty"`
+	// RefitDrift re-selects early on per-point log-marginal-likelihood
+	// drift (0 = default 0.25; negative disables).
+	RefitDrift float64 `json:"refit_drift,omitempty"`
+}
+
+// SurrogateStatus is the live surrogate picture of one BO/GBO session:
+// the resolved configuration plus the cumulative work counters. Doubles as
+// the `surrogate` JSON object in session status responses.
+type SurrogateStatus struct {
+	// Kind is the resolved kernel family ("rbf" or "matern52").
+	Kind string `json:"kind"`
+	// Budget is the resolved active-set cap (0 = exact, unbudgeted).
+	Budget int `json:"budget,omitempty"`
+	// Fits counts full hyperparameter selections (grid + ARD, O(n³)).
+	Fits int `json:"fits"`
+	// Appends counts O(n²) incremental absorptions.
+	Appends int `json:"appends"`
+	// Compactions counts evict-or-reject decisions a budgeted surrogate
+	// made to stay within its cap (always 0 for exact models).
+	Compactions int `json:"compactions,omitempty"`
 }
 
 // Observation is one measured experiment reported to a session.
@@ -283,6 +331,10 @@ type Status struct {
 	WarmStarted  bool
 	WarmSource   string
 	WarmDistance float64
+
+	// Surrogate is the session's surrogate configuration and work counters
+	// (BO/GBO backends; nil otherwise).
+	Surrogate *SurrogateStatus
 }
 
 // HistoryEntry is one recorded experiment of a session.
@@ -325,11 +377,12 @@ type Session struct {
 	suggested bool        // a suggestion is outstanding (armed, unconsumed)
 }
 
-// surrogateStatser is implemented by the bo/gbo tuners: cumulative full
-// hyperparameter selections vs incremental appends of the session's
-// surrogate, surfaced through Metrics.
+// surrogateStatser is implemented by the bo/gbo tuners: the session
+// surrogate's cumulative work counters (full hyperparameter selections,
+// incremental appends, budget compactions), surfaced through Metrics and
+// session status.
 type surrogateStatser interface {
-	SurrogateStats() (fits, appends int)
+	SurrogateInfo() gp.SurrogateStats
 }
 
 // shard is one lock stripe of the session map. closed maps tombstoned
@@ -589,12 +642,46 @@ func resolve(spec Spec) (cluster.Spec, workload.Spec, error) {
 	return cl, wl, nil
 }
 
+// resolveSurrogate validates a session's surrogate spec against the
+// manager defaults and returns the bo-layer configuration: the kernel
+// family normalized to "rbf"/"matern52" and the active-set budget with
+// 0 meaning exact (spec 0 inherits Options.SurrogateBudget, negative
+// forces exact).
+func (m *Manager) resolveSurrogate(ss SurrogateSpec) (bo.SurrogateConfig, error) {
+	kernel := strings.ToLower(ss.Kernel)
+	switch kernel {
+	case "":
+		kernel = "rbf"
+	case "rbf", "matern52":
+	default:
+		return bo.SurrogateConfig{}, fmt.Errorf("service: unknown surrogate kernel %q (want rbf or matern52)", ss.Kernel)
+	}
+	budget := ss.Budget
+	if budget == 0 {
+		budget = m.opts.SurrogateBudget
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return bo.SurrogateConfig{
+		Kernel:     kernel,
+		Budget:     budget,
+		RefitEvery: ss.RefitEvery,
+		RefitDrift: ss.RefitDrift,
+	}, nil
+}
+
 // newTuner builds the incremental tuner for a session spec, wiring the
 // manager's surrogate/acquisition histograms into BO-family backends.
 func (m *Manager) newTuner(spec Spec, cl cluster.Spec, sp tune.Space) (tune.Tuner, error) {
+	sur, err := m.resolveSurrogate(spec.Surrogate)
+	if err != nil {
+		return nil, err
+	}
 	boOpts := bo.Options{
 		Seed:                spec.Seed,
 		MaxIterations:       spec.MaxIterations,
+		Surrogate:           sur,
 		SurrogateAppendHist: m.opts.Obs.Histogram("surrogate.append"),
 		SurrogateRefitHist:  m.opts.Obs.Histogram("surrogate.refit"),
 		AcquisitionHist:     m.opts.Obs.Histogram("acquisition"),
@@ -1181,6 +1268,9 @@ type Metrics struct {
 	// far more than it fits.
 	SurrogateFits    int64
 	SurrogateAppends int64
+	// SurrogateCompactions counts evict-or-reject decisions budgeted
+	// surrogates made to stay within their active-set caps.
+	SurrogateCompactions int64
 	// RepoEntries is the size of the shared model repository; RepoCapacity
 	// is its eviction bound (<= 0 unbounded). RepoHits counts warm-start
 	// matches served; RepoEvictions counts entries evicted past capacity
@@ -1229,9 +1319,10 @@ func (m *Manager) Metrics() Metrics {
 			s.mu.Lock()
 			state := s.state
 			if ss, ok := s.tuner.(surrogateStatser); ok {
-				fits, appends := ss.SurrogateStats()
-				mt.SurrogateFits += int64(fits)
-				mt.SurrogateAppends += int64(appends)
+				st := ss.SurrogateInfo()
+				mt.SurrogateFits += int64(st.Fits)
+				mt.SurrogateAppends += int64(st.Appends)
+				mt.SurrogateCompactions += int64(st.Compactions)
 			}
 			s.mu.Unlock()
 			mt.Sessions++
@@ -1507,6 +1598,19 @@ func (m *Manager) statusLocked(s *Session) Status {
 		st.WarmStarted = true
 		st.WarmSource = s.warm.Source
 		st.WarmDistance = s.warm.Distance
+	}
+	if ss, ok := s.tuner.(surrogateStatser); ok {
+		// resolveSurrogate already validated the spec at create time, so it
+		// cannot fail here.
+		sur, _ := m.resolveSurrogate(s.spec.Surrogate)
+		info := ss.SurrogateInfo()
+		st.Surrogate = &SurrogateStatus{
+			Kind:        sur.Kernel,
+			Budget:      sur.Budget,
+			Fits:        info.Fits,
+			Appends:     info.Appends,
+			Compactions: info.Compactions,
+		}
 	}
 	return st
 }

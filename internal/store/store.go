@@ -42,6 +42,16 @@ const (
 // SessionSpec is the durable form of a session's creation request. It
 // mirrors service.Spec field for field; the store keeps its own copy so the
 // on-disk schema does not depend on the service package.
+// SurrogateSpec is the durable form of a session's surrogate configuration
+// (BO/GBO backends): kernel family, active-set budget, and the
+// hyperparameter re-selection schedule.
+type SurrogateSpec struct {
+	Kernel     string  `json:"kernel,omitempty"`
+	Budget     int     `json:"budget,omitempty"`
+	RefitEvery int     `json:"refit_every,omitempty"`
+	RefitDrift float64 `json:"refit_drift,omitempty"`
+}
+
 type SessionSpec struct {
 	Backend         string         `json:"backend,omitempty"`
 	Workload        string         `json:"workload,omitempty"`
@@ -54,6 +64,9 @@ type SessionSpec struct {
 	WarmMaxDistance float64        `json:"warm_max_distance,omitempty"`
 	Stats           *profile.Stats `json:"stats,omitempty"`
 	DefaultSec      float64        `json:"default_sec,omitempty"`
+	// Surrogate is nil for sessions created before the field existed (and
+	// for non-BO backends), keeping old logs replayable byte-for-byte.
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
 }
 
 // Observation is the durable form of one measured experiment. Objectives
