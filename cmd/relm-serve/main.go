@@ -78,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 	"relm/internal/replica"
 	"relm/internal/service"
@@ -107,6 +108,7 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		slowLog      = flag.Duration("slow-log", 0, "log any request slower than this span-by-span (0 = off)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		faultsPath   = flag.String("faults", "", "JSON fault-injection schedule armed at startup (testing; see docs/OPERATIONS.md)")
 	)
 	flag.Parse()
 
@@ -116,6 +118,13 @@ func main() {
 	}
 	logger := obs.NewLogger(logNode, obs.ParseLevel(*logLevel))
 	reg := obs.NewRegistry()
+
+	if *faultsPath != "" {
+		if err := fault.ApplyFile(*faultsPath); err != nil {
+			log.Fatalf("arm -faults: %v", err)
+		}
+		logger.Warn("fault injection armed", "schedule", *faultsPath)
+	}
 
 	if *pprofAddr != "" {
 		go func() {

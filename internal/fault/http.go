@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the /v1/faults control endpoint for a binary:
+//
+//	GET    — the armed schedule and per-rule hit/fired counters (Status)
+//	POST   — arm a Schedule (replacing the previous one wholesale)
+//	DELETE — disarm everything
+//
+// Both relm-serve and relm-router mount it, so a chaos harness can arm,
+// inspect, and tear down fault schedules per process at runtime.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeStatus(w, http.StatusOK)
+		case http.MethodPost:
+			var s Schedule
+			dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&s); err != nil {
+				httpError(w, http.StatusBadRequest, "decode schedule: "+err.Error())
+				return
+			}
+			if err := Apply(s); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeStatus(w, http.StatusOK)
+		case http.MethodDelete:
+			DisarmAll()
+			writeStatus(w, http.StatusOK)
+		default:
+			w.Header().Set("Allow", "GET, POST, DELETE")
+			httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	})
+}
+
+func writeStatus(w http.ResponseWriter, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(Snapshot())
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

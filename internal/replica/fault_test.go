@@ -1,0 +1,90 @@
+package replica_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"relm/internal/fault"
+	"relm/internal/replica"
+)
+
+// TestInjectedShipFaultSeversAndCatchesUp: an armed replica.ship.chunk
+// fault severs replication to the follower — SyncNow cycles fail and the
+// follower records ship errors — and after disarm the next cycle resumes
+// from the follower's last ack and mirrors the log byte-exactly.
+func TestInjectedShipFaultSeversAndCatchesUp(t *testing.T) {
+	rig := newShipRig(t, 0)
+	rig.append(t, 5)
+	t.Cleanup(fault.DisarmAll)
+
+	err := fault.Apply(fault.Schedule{Seed: 3, Rules: []fault.Rule{
+		{Point: "replica.ship.chunk", Action: "error", Match: "b", Count: 100, Window: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.set.SyncNow(); err == nil {
+		t.Fatal("SyncNow under severed shipping reported success")
+	} else if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("SyncNow error %v does not chain fault.ErrInjected", err)
+	}
+	st := rig.set.Status()
+	if len(st.Followers) != 1 || st.Followers[0].ShipErrors == 0 {
+		t.Fatalf("severed follower shows no ship errors: %+v", st.Followers)
+	}
+	if st.Followers[0].LastError == "" || !strings.Contains(st.Followers[0].LastError, "injected") {
+		t.Fatalf("follower last error %q does not mention the injected fault", st.Followers[0].LastError)
+	}
+
+	// Disarm: the next cycle ships everything the fault held back.
+	fault.DisarmAll()
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("SyncNow after disarm: %v", err)
+	}
+	rig.assertMirrored(t)
+}
+
+// TestInjectedIngestFaultRefusesChunkCleanly: the follower-side fault
+// refuses a chunk before any disk I/O; the shipper's cycle fails, and the
+// retry after disarm lands the identical bytes (offset protocol intact).
+func TestInjectedIngestFaultRefusesChunkCleanly(t *testing.T) {
+	rig := newShipRig(t, 0)
+	rig.append(t, 3)
+	t.Cleanup(fault.DisarmAll)
+
+	err := fault.Apply(fault.Schedule{Seed: 4, Rules: []fault.Rule{
+		{Point: "replica.ingest", Action: "error", Match: "a", Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.set.SyncNow(); err == nil {
+		t.Fatal("SyncNow with refusing follower reported success")
+	}
+	fault.DisarmAll()
+	if err := rig.set.SyncNow(); err != nil {
+		t.Fatalf("SyncNow after disarm: %v", err)
+	}
+	rig.assertMirrored(t)
+}
+
+// TestIngestLatencyFaultStillAcks: latency is observed, not a failure —
+// the delayed chunk must still be ingested and acked.
+func TestIngestLatencyFaultStillAcks(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	err := fault.Apply(fault.Schedule{Seed: 5, Rules: []fault.Rule{
+		{Point: "replica.ingest", Action: "latency", Arg: 1, Count: 10, Window: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := replica.New(replica.Options{Self: "b", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if size, err := s.Ingest("a", 1, 0, 0, []byte("hello ")); err != nil || size != 6 {
+		t.Fatalf("delayed chunk: size=%d err=%v", size, err)
+	}
+}

@@ -40,9 +40,16 @@ import (
 	"sync"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 	"relm/internal/store"
 )
+
+// fpIngest is the follower-side failpoint, evaluated per ingested chunk
+// with the primary's name as the tag. An injected error refuses the chunk
+// before any disk I/O: the shipper sees a failed cycle and retries from
+// the follower's last ack, so the replica stays consistent — just behind.
+var fpIngest = fault.Register("replica.ingest")
 
 // Peer names one node of the replication mesh.
 type Peer struct {
@@ -259,6 +266,14 @@ func (s *Set) Ingest(primaryName string, segment uint64, offset int64, min uint6
 	}
 	if segment == 0 {
 		return 0, errors.New("replica: segment index must be >= 1")
+	}
+	if fp := fpIngest.EvalTag(primaryName); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		default:
+			return 0, fmt.Errorf("replica: ingest %s: %w", primaryName, fp.Err)
+		}
 	}
 	p, err := s.primary(primaryName, true)
 	if err != nil {

@@ -14,8 +14,16 @@ import (
 	"sync"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 )
+
+// fpShipChunk is the shipper's failpoint, evaluated per shipped segment
+// chunk with the follower's name as the tag — a schedule can delay or
+// sever replication to one follower without touching the data path.
+// Injected errors fail the ship cycle like any transport error: the
+// follower's lag grows and the next cycle retries from its ack.
+var fpShipChunk = fault.Register("replica.ship.chunk")
 
 // The shipper half of a Set: one background loop that, every Interval,
 // brings each follower up to date with the local log. A cycle per
@@ -342,6 +350,14 @@ func (s *Set) shipSnapshot(f *followerState, trace string, hash string, data []b
 }
 
 func (s *Set) shipChunk(f *followerState, trace string, segment uint64, offset int64, min uint64, data []byte) (int64, error) {
+	if fp := fpShipChunk.EvalTag(f.peer.Name); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		default:
+			return 0, fmt.Errorf("replica: ship to %s: %w", f.peer.Name, fp.Err)
+		}
+	}
 	u := f.peer.URL + "/v1/replica/segments?primary=" + url.QueryEscape(s.opts.Self) +
 		"&segment=" + strconv.FormatUint(segment, 10) +
 		"&offset=" + strconv.FormatInt(offset, 10) +

@@ -6,8 +6,16 @@ import (
 	"net/http"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 )
+
+// fpProxy is the router's data-path failpoint, evaluated per proxied send
+// with the backend's name as the tag — so a schedule can partition one
+// backend (match), delay it (latency/stall), or black-hole it (error/
+// drop). Injected failures run through the same breaker bookkeeping as
+// real transport errors.
+var fpProxy = fault.Register("router.proxy")
 
 // Per-backend circuit breaker over the data path (proxying and fan-outs).
 // The health checker tells the router a node is *down*; the breaker tells
@@ -144,6 +152,19 @@ func (r *Router) sendTracked(client *http.Client, req *http.Request, n *node, me
 	if !n.brAcquire(time.Now()) {
 		return 0, nil, nil, errBreakerOpen
 	}
+	if fp := fpProxy.EvalTag(n.name); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		default:
+			// An injected partition: the request never reaches the node,
+			// and the breaker counts the failure like any transport error.
+			if st := n.brFailure(r.opts.BreakerThreshold, r.opts.BreakerProbe, r.opts.BreakerProbeMax, time.Now()); st >= 0 {
+				r.logf("router: node %s breaker %s (%v)", n.name, breakerWord(st), fp.Err)
+			}
+			return 0, nil, nil, fp.Err
+		}
+	}
 	start := time.Now()
 	status, buf, hdr, err := r.send(client, req, n, method, path, query, body)
 	r.histProxy.Record(time.Since(start))
@@ -165,4 +186,15 @@ func (r *Router) sendTracked(client *http.Client, req *http.Request, n *node, me
 // other 4xx/5xx answers which would repeat anywhere.
 func isDraining503(status int, body []byte) bool {
 	return status == http.StatusServiceUnavailable && bytes.Contains(body, []byte("draining"))
+}
+
+// isRetriable503 recognises a backend that refused a request it could not
+// durably acknowledge — store append/fsync failures and injected faults
+// are mapped by the service to 503 + Retry-After. The identical request
+// may succeed on another candidate or later, so the router spends retry
+// budget walking on; and since only a node that actually holds (or would
+// accept) the session answers this way, a remembered retriable 503 is
+// preferred over a 404 fallthrough when every other candidate misses.
+func isRetriable503(status int, hdr http.Header) bool {
+	return status == http.StatusServiceUnavailable && hdr != nil && hdr.Get("Retry-After") != ""
 }

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 )
 
@@ -539,9 +540,24 @@ func writeProxied(w http.ResponseWriter, n *node, status int, buf []byte, hdr ht
 	if ct := hdr.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
+	// Keep the retriability marker: a replayed 503 without Retry-After
+	// would look terminal to the client.
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
 	w.Header().Set("X-Relm-Node", n.name)
 	w.WriteHeader(status)
 	w.Write(buf)
+}
+
+// miss remembers a non-final answer seen during a candidate walk (404,
+// draining 503, retriable 503) so the most truthful one can be replayed if
+// no candidate serves the request.
+type miss struct {
+	n      *node
+	status int
+	buf    []byte
+	hdr    http.Header
 }
 
 // handleSession routes one /v1/sessions/{id}... request to the session's
@@ -576,13 +592,7 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	type miss struct {
-		n      *node
-		status int
-		buf    []byte
-		hdr    http.Header
-	}
-	var notFound, draining *miss
+	var notFound, draining, retriable *miss
 	var lastErr error
 	retries := 0
 	for _, n := range cands {
@@ -606,9 +616,13 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 			}
 			continue
 		}
-		if isDraining503(status, buf) {
-			if draining == nil {
-				draining = &miss{n: n, status: status, buf: buf, hdr: hdr}
+		if isDraining503(status, buf) || isRetriable503(status, hdr) {
+			if isDraining503(status, buf) {
+				if draining == nil {
+					draining = &miss{n: n, status: status, buf: buf, hdr: hdr}
+				}
+			} else if retriable == nil {
+				retriable = &miss{n: n, status: status, buf: buf, hdr: hdr}
 			}
 			retries++
 			if retries > r.opts.RetryBudget {
@@ -618,6 +632,15 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 			continue
 		}
 		writeProxied(w, n, status, buf, hdr)
+		return
+	}
+	// A remembered retriable 503 wins over 404s from the other candidates:
+	// it came from the node that actually holds the session (a candidate
+	// without it answers 404 even while degraded), so replaying the 404
+	// would misreport a live-but-unwritable session as gone — and turn a
+	// retriable fault into a terminal answer.
+	if retriable != nil {
+		writeProxied(w, retriable.n, retriable.status, retriable.buf, retriable.hdr)
 		return
 	}
 	if notFound != nil {
@@ -670,6 +693,7 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var lastErr error
+	var refused *miss
 	retries := 0
 	for _, n := range cands {
 		status, buf, hdr, err := r.sendTracked(r.client, req, n, http.MethodPost, "/v1/sessions", "", body)
@@ -687,10 +711,17 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 			n.retried()
 			continue
 		}
-		if isDraining503(status, buf) && retries < r.opts.RetryBudget {
+		if (isDraining503(status, buf) || isRetriable503(status, hdr)) && retries < r.opts.RetryBudget {
+			// Draining or journal-degraded: a create is not bound to any
+			// node until it succeeds, so simply place it on the next
+			// candidate. The refusal is remembered in case every candidate
+			// refuses — replaying a retriable 503 beats a generic 502.
+			if refused == nil {
+				refused = &miss{n: n, status: status, buf: buf, hdr: hdr}
+			}
 			retries++
 			n.retried()
-			lastErr = fmt.Errorf("node %s: draining", n.name)
+			lastErr = fmt.Errorf("node %s: refused create (status %d)", n.name, status)
 			continue
 		}
 		if ct := hdr.Get("Content-Type"); ct != "" {
@@ -699,6 +730,10 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("X-Relm-Node", n.name)
 		w.WriteHeader(status)
 		w.Write(buf)
+		return
+	}
+	if refused != nil {
+		writeProxied(w, refused.n, refused.status, refused.buf, refused.hdr)
 		return
 	}
 	if lastErr == nil {
@@ -727,6 +762,9 @@ func (r *Router) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	mux.HandleFunc("POST /v1/cluster/drain/{node}", r.handleDrain)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	// Fault-injection control for the router process itself (router.proxy
+	// schedules, e.g. injected partitions between router and backends).
+	mux.Handle("/v1/faults", fault.Handler())
 	return r.tracer.Middleware(mux)
 }
 

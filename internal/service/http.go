@@ -11,9 +11,11 @@ import (
 
 	"relm/internal/bo"
 	"relm/internal/conf"
+	"relm/internal/fault"
 	"relm/internal/obs"
 	"relm/internal/profile"
 	"relm/internal/replica"
+	"relm/internal/store"
 )
 
 // ConfigJSON is the wire form of a configuration (Table 1 knobs).
@@ -198,6 +200,11 @@ type MetricsResponse struct {
 	SnapshotBytes        int64      `json:"snapshot_bytes,omitempty"`
 	LastCompaction       *time.Time `json:"last_compaction,omitempty"`
 	JournalError         string     `json:"journal_error,omitempty"`
+	// WALDegraded reports a write-ahead log that hit an unrecoverable
+	// write/fsync failure and flipped read-only; the node refuses writes
+	// with retriable 503s until it is restarted on healthy storage.
+	WALDegraded       bool   `json:"wal_degraded,omitempty"`
+	WALDegradedReason string `json:"wal_degraded_reason,omitempty"`
 
 	// Replication lag and ingest counters (internal/replica). Top-level
 	// numerics so the router's metrics fan-out sums them cluster-wide.
@@ -577,6 +584,8 @@ func NewHandler(m *Manager) http.Handler {
 			resp.BatchedEvents = mt.Store.BatchedEvents
 			resp.Snapshots = mt.Store.Snapshots
 			resp.SnapshotBytes = mt.Store.SnapshotBytes
+			resp.WALDegraded = mt.Store.Degraded
+			resp.WALDegradedReason = mt.Store.DegradedReason
 			if !mt.Store.LastCompaction.IsZero() {
 				t := mt.Store.LastCompaction
 				resp.LastCompaction = &t
@@ -797,8 +806,22 @@ func NewHandler(m *Manager) http.Handler {
 		if m.Draining() {
 			resp["draining"] = true
 		}
-		writeJSON(w, http.StatusOK, resp)
+		code := http.StatusOK
+		if reason, degraded := m.StoreDegraded(); degraded {
+			// A degraded WAL cannot ack writes, so the node reports
+			// unhealthy: the router stops routing to it and, with
+			// replication, promotes a follower's replica — the same
+			// recovery path as a crash, minus the data loss.
+			resp["ok"] = false
+			resp["degraded"] = reason
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, resp)
 	})
+
+	// Fault-injection control (internal/fault): inspect, arm, or disarm
+	// the process's failpoint schedule.
+	mux.Handle("/v1/faults", fault.Handler())
 
 	// The tracer middleware wraps the whole API, so every request — the
 	// session lifecycle, replica ingest from a shipping primary, even
@@ -845,6 +868,11 @@ func writePromMetrics(w io.Writer, mt Metrics) {
 		p.Counter("relm_wal_batched_events_total", "Records flushed through group commit.", float64(mt.Store.BatchedEvents))
 		p.Counter("relm_snapshots_total", "Compacted snapshots written.", float64(mt.Store.Snapshots))
 		p.Gauge("relm_snapshot_bytes", "Latest snapshot size.", float64(mt.Store.SnapshotBytes))
+		degraded := 0.0
+		if mt.Store.Degraded {
+			degraded = 1
+		}
+		p.Gauge("relm_wal_degraded", "1 while the WAL is degraded (read-only).", degraded)
 	}
 	if mt.Replication {
 		p.Gauge("relm_replica_followers", "Configured ship targets.", float64(mt.Replica.Followers))
@@ -902,6 +930,13 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrExists):
 		code = http.StatusConflict
 	case errors.Is(err, ErrManagerDown), errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrJournal), errors.Is(err, store.ErrDegraded), errors.Is(err, fault.ErrInjected):
+		// Store append/fsync failures (and injected faults) refused the
+		// operation before mutating anything: the request is retriable —
+		// here after the fault clears, or on another node via the router's
+		// next-candidate walk. Retry-After marks it as such.
+		w.Header().Set("Retry-After", "1")
 		code = http.StatusServiceUnavailable
 	default:
 		code = http.StatusBadRequest

@@ -76,18 +76,21 @@ func specFromRecord(rec store.SessionSpec) Spec {
 	return spec
 }
 
-// journal appends one event to the store and returns its sequence number
-// (0 without a store, during replay, or on failure). Journaling failures
-// never fail the tuning operation; they are surfaced through Metrics.
-func (m *Manager) journal(ev *store.Event) uint64 {
+// journal appends one event to the store, returning its sequence number
+// (0 without a store or during replay) and the append error. Callers on
+// the durability path — Create and Observe, whose acks promise the event
+// survives recovery — fail the operation on error (journal-before-apply);
+// advisory events (suggest, harvest, close tombstones) ignore it. Either
+// way the last failure is surfaced through Metrics.
+func (m *Manager) journal(ev *store.Event) (uint64, error) {
 	if m.opts.Store == nil || m.replaying {
-		return 0
+		return 0, nil
 	}
 	seq, err := m.opts.Store.Append(ev)
 	if err != nil {
 		msg := err.Error()
 		m.journalErr.Store(&msg)
-		return 0
+		return 0, err
 	}
 	if m.sinceSnap.Add(1) >= int64(m.opts.SnapshotEvery) {
 		m.sinceSnap.Store(0)
@@ -96,7 +99,7 @@ func (m *Manager) journal(ev *store.Event) uint64 {
 		default: // a compaction is already pending
 		}
 	}
-	return seq
+	return seq, nil
 }
 
 // journalClose journals a close tombstone for a removed session and
@@ -104,9 +107,9 @@ func (m *Manager) journal(ev *store.Event) uint64 {
 // the log no longer holds events that could resurrect the ID. Callers
 // must have tombstoned the ID (tombstoneKept) when removing the session.
 func (m *Manager) journalClose(id string, now time.Time) {
-	seq := m.journal(&store.Event{Type: store.EventClose, ID: id, Time: now})
-	if seq == 0 {
-		return // no store: the sentinel tombstone stays
+	seq, err := m.journal(&store.Event{Type: store.EventClose, ID: id, Time: now})
+	if err != nil || seq == 0 {
+		return // no store or append failed: the sentinel tombstone stays
 	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()

@@ -42,6 +42,7 @@ import (
 	"relm/internal/conf"
 	"relm/internal/core"
 	"relm/internal/ddpg"
+	"relm/internal/fault"
 	"relm/internal/gbo"
 	"relm/internal/gp"
 	"relm/internal/obs"
@@ -78,7 +79,17 @@ var (
 	ErrManagerDown = errors.New("service: manager closed")
 	ErrExists      = errors.New("service: session ID already in use")
 	ErrDraining    = errors.New("service: node draining, not accepting sessions")
+	// ErrJournal wraps a WAL append failure on the durability path: the
+	// operation was refused BEFORE mutating tuner state, so the client can
+	// retry it (here after the fault clears, or on another node via the
+	// router). HTTP maps it to 503 + Retry-After.
+	ErrJournal = errors.New("service: journal append failed")
 )
+
+// fpObserve is the service-layer failpoint on the observe path, evaluated
+// at the top of Manager.Observe — upstream of validation, journaling, and
+// tuner mutation, so an injected failure is always cleanly retriable.
+var fpObserve = fault.Register("service.observe")
 
 // Options configures a Manager. Zero values select sensible defaults.
 type Options struct {
@@ -861,8 +872,22 @@ func (m *Manager) create(spec Spec) (Status, error) {
 		sh.mu.Unlock()
 	}
 
-	m.journal(&store.Event{Type: store.EventCreate, ID: s.id, Time: now, Spec: specRecord(spec)})
+	// Journal-before-ack: a created session must survive recovery, so a
+	// journal failure rolls the registration back and refuses the create
+	// with a retriable error instead of acking state that would vanish.
+	if _, err := m.journal(&store.Event{Type: store.EventCreate, ID: s.id, Time: now, Spec: specRecord(spec)}); err != nil {
+		// Roll the registration back WITHOUT a tombstone: nothing reached
+		// the log, so the ID must stay free for the client's retry.
+		sh := m.shardFor(s.id)
+		sh.mu.Lock()
+		delete(sh.sessions, s.id)
+		sh.mu.Unlock()
+		m.count.Add(-1)
+		return Status{}, fmt.Errorf("%w: %w", ErrJournal, err)
+	}
 	if s.warm != nil {
+		// Best-effort: losing the warm event costs a restored session its
+		// warm start, not any acked history.
 		m.journal(&store.Event{Type: store.EventWarm, ID: s.id, Time: now, Warm: s.warm})
 	}
 
@@ -939,6 +964,16 @@ func (m *Manager) Observe(id string, obs Observation) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
+	if fp := fpObserve.Eval(); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		default:
+			// Nothing has been journaled or mutated: the injected failure
+			// is retriable by construction.
+			return Status{}, fmt.Errorf("service: observe: %w", fp.Err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state == StateClosed {
@@ -964,7 +999,9 @@ func (m *Manager) Observe(id string, obs Observation) (Status, error) {
 	smp.Result.Aborted = obs.Aborted
 	smp.Result.GCOverhead = obs.GCOverhead
 
-	m.observeLocked(s, smp)
+	if err := m.observeLocked(s, smp); err != nil {
+		return Status{}, err
+	}
 	s.lastUsed = m.opts.Now()
 	m.refreshStateLocked(s)
 	st := m.statusLocked(s)
@@ -1347,6 +1384,17 @@ func (m *Manager) Metrics() Metrics {
 	return mt
 }
 
+// StoreDegraded reports whether the attached store's WAL has flipped
+// read-only (see store.ErrDegraded), and the first failure that tripped
+// it. Cheap enough to sit on the healthz path.
+func (m *Manager) StoreDegraded() (string, bool) {
+	if m.opts.Store == nil {
+		return "", false
+	}
+	mt := m.opts.Store.Metrics()
+	return mt.DegradedReason, mt.Degraded
+}
+
 // Obs returns the manager's stage-histogram registry (nil under NoObs).
 func (m *Manager) Obs() *obs.Registry { return m.opts.Obs }
 
@@ -1416,25 +1464,19 @@ func (m *Manager) RepositoryReport() RepositoryReport {
 
 // --- internals -------------------------------------------------------------
 
-// observeLocked feeds one sample to the session's tuner and records and
-// journals it, tracking the suggest/observe interleaving (whether a
+// observeLocked journals one sample and then feeds it to the session's
+// tuner and history, tracking the suggest/observe interleaving (whether a
 // suggestion was outstanding, and whether this observation consumed it) so
-// restore can replay it faithfully. Callers hold s.mu.
-func (m *Manager) observeLocked(s *Session, smp tune.Sample) {
+// restore can replay it faithfully. Journal-before-apply: the observe
+// event must be durable before any state the ack exposes is mutated, so on
+// an append failure the tuner, history, and suggest arming are untouched
+// and the caller surfaces a retriable ErrJournal — the client retries the
+// identical observation (here once the fault clears, or on the promoted
+// replica via the router) without the tuner ever double-counting it.
+// Table 6 statistics are derived from the profile when the sample carries
+// one. Callers hold s.mu.
+func (m *Manager) observeLocked(s *Session, smp tune.Sample) error {
 	armed := s.suggested
-	if armed && s.tuner.Suggest() == smp.Config {
-		// Suggest is pure while a suggestion is outstanding; the tuner is
-		// about to consume it.
-		s.suggested = false
-	}
-	s.tuner.Observe(smp)
-	m.recordLocked(s, smp, armed)
-}
-
-// recordLocked appends one sample to the session history (deriving Table 6
-// statistics from the profile when the sample has one) and journals it.
-// Callers hold s.mu.
-func (m *Manager) recordLocked(s *Session, smp tune.Sample, suggested bool) {
 	var st *profile.Stats
 	if smp.Stats != nil {
 		st = smp.Stats
@@ -1443,17 +1485,7 @@ func (m *Manager) recordLocked(s *Session, smp tune.Sample, suggested bool) {
 		st = &g
 	}
 	n := len(s.history)
-	s.history = append(s.history, HistoryEntry{
-		Config:     smp.Config,
-		RuntimeSec: smp.RuntimeSec,
-		Objective:  smp.Objective,
-		Aborted:    smp.Result.Aborted,
-		GCOverhead: smp.Result.GCOverhead,
-		Stats:      st,
-		Suggested:  suggested,
-	})
-	m.observations.Add(1)
-	m.journal(&store.Event{
+	if _, err := m.journal(&store.Event{
 		Type: store.EventObserve,
 		ID:   s.id,
 		Time: m.opts.Now(),
@@ -1464,9 +1496,28 @@ func (m *Manager) recordLocked(s *Session, smp tune.Sample, suggested bool) {
 			Aborted:    smp.Result.Aborted,
 			GCOverhead: smp.Result.GCOverhead,
 			Stats:      st,
-			Suggested:  suggested,
+			Suggested:  armed,
 		},
+	}); err != nil {
+		return fmt.Errorf("%w: %w", ErrJournal, err)
+	}
+	if armed && s.tuner.Suggest() == smp.Config {
+		// Suggest is pure while a suggestion is outstanding; the tuner is
+		// about to consume it.
+		s.suggested = false
+	}
+	s.tuner.Observe(smp)
+	s.history = append(s.history, HistoryEntry{
+		Config:     smp.Config,
+		RuntimeSec: smp.RuntimeSec,
+		Objective:  smp.Objective,
+		Aborted:    smp.Result.Aborted,
+		GCOverhead: smp.Result.GCOverhead,
+		Stats:      st,
+		Suggested:  armed,
 	})
+	m.observations.Add(1)
+	return nil
 }
 
 // refreshStateLocked moves a non-terminal session to done/failed once its
@@ -1666,7 +1717,14 @@ func (m *Manager) drive(s *Session) {
 		}
 		// The fingerprinting run is a real experiment: feed it to the
 		// tuner (unsolicited observations are incorporated) and the log.
-		m.observeLocked(s, smp)
+		if err := m.observeLocked(s, smp); err != nil {
+			// The journal refused the observation; the auto session cannot
+			// make durable progress, so it fails rather than silently
+			// diverging from its log.
+			s.state, s.err = StateFailed, err
+			s.mu.Unlock()
+			return
+		}
 		s.lastUsed = m.opts.Now()
 		s.mu.Unlock()
 	}
@@ -1703,7 +1761,11 @@ func (m *Manager) drive(s *Session) {
 			s.mu.Unlock()
 			return
 		}
-		m.observeLocked(s, smp)
+		if err := m.observeLocked(s, smp); err != nil {
+			s.state, s.err = StateFailed, err
+			s.mu.Unlock()
+			return
+		}
 		s.lastUsed = m.opts.Now()
 		s.mu.Unlock()
 	}

@@ -9,12 +9,31 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"relm/internal/fault"
 	"relm/internal/obs"
 )
 
 const snapshotFile = "snapshot.json"
+
+// Failpoints on the WAL's write path. Hits are write operations: one per
+// unbatched append, one per group-commit batch, one per rotation.
+var (
+	fpWrite  = fault.Register("store.write")
+	fpFsync  = fault.Register("store.fsync")
+	fpRotate = fault.Register("wal.rotate")
+)
+
+// ErrDegraded marks a WAL that hit a write, flush, or fsync failure it
+// cannot reason about and flipped read-only: appends and compactions are
+// refused, existing segments stay replayable, and the node advertises the
+// state via /v1/healthz so the router routes around it. Continuing to
+// append past such a failure could concatenate records onto a torn line or
+// re-ack data whose durability is unknown — the classic post-fsync-failure
+// trap — so the store degrades instead of wedging or lying.
+var ErrDegraded = errors.New("store: wal degraded (read-only)")
 
 // FileOptions tunes a file-backed store.
 type FileOptions struct {
@@ -84,6 +103,8 @@ type File struct {
 	seq    uint64
 	batch  *commitBatch // open group-commit batch, nil outside gc mode
 	gc     *committer   // nil unless group commit is enabled
+
+	degraded atomic.Pointer[string] // non-nil reason => WAL is read-only
 
 	activeIndex  uint64
 	activeBytes  int64
@@ -206,6 +227,10 @@ func (s *File) Append(ev *Event) (uint64, error) {
 		s.mu.Unlock()
 		return 0, errors.New("store: append to closed store")
 	}
+	if r := s.degraded.Load(); r != nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
 	s.seq++
 	ev.Seq = s.seq
 	buf, err := json.Marshal(ev)
@@ -245,14 +270,59 @@ func (s *File) Append(ev *Event) (uint64, error) {
 // fsyncs, and rotates the segment past the byte threshold. Callers hold
 // s.mu.
 func (s *File) writeLocked(buf []byte, n int, sync bool) error {
+	if r := s.degraded.Load(); r != nil {
+		return fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
+	if fp := fpWrite.Eval(); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		case fault.Torn:
+			// Persist a partial prefix — the on-disk signature of a crash
+			// mid-write — then degrade: any record appended after a torn
+			// line would concatenate onto it and vanish at recovery.
+			nb := fp.N
+			if nb >= len(buf) {
+				nb = len(buf) - 1
+			}
+			if nb > 0 {
+				_, _ = s.w.Write(buf[:nb])
+			}
+			_ = s.w.Flush()
+			s.degrade("injected torn write")
+			return fmt.Errorf("%w: injected torn write", ErrDegraded)
+		case fault.Drop:
+			// Report success without writing — acked-but-lost, which exists
+			// to prove the chaos invariant checker catches real loss.
+			return nil
+		default:
+			// Clean injected failure before any byte is written: the caller
+			// sees a retriable error and the log stays consistent.
+			return fmt.Errorf("store: append: %w", fp.Err)
+		}
+	}
 	if _, err := s.w.Write(buf); err != nil {
+		s.degrade("write: " + err.Error())
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if err := s.w.Flush(); err != nil {
+		s.degrade("flush: " + err.Error())
 		return fmt.Errorf("store: flush: %w", err)
 	}
 	if sync {
+		if fp := fpFsync.Eval(); fp != nil {
+			switch fp.Action {
+			case fault.Latency, fault.Stall:
+				fp.Sleep()
+			default:
+				// The batch reached the OS but its durability is unknown —
+				// never retry past a failed fsync, degrade instead.
+				s.degrade("injected fsync failure")
+				return fmt.Errorf("store: sync: %w", fp.Err)
+			}
+		}
 		if err := s.f.Sync(); err != nil {
+			s.degrade("fsync: " + err.Error())
 			return fmt.Errorf("store: sync: %w", err)
 		}
 	}
@@ -290,7 +360,18 @@ func (s *File) commitPendingLocked() {
 // old segment as the (tail-tolerant) active one or the sealed-only /
 // empty-successor layouts, never a torn sealed segment. Callers hold s.mu.
 func (s *File) rotateLocked() error {
+	if fp := fpRotate.Eval(); fp != nil {
+		switch fp.Action {
+		case fault.Latency, fault.Stall:
+			fp.Sleep()
+		default:
+			// Clean failure before any I/O: the old segment stays active
+			// and rotation retries on the next append.
+			return fmt.Errorf("store: rotate: %w", fp.Err)
+		}
+	}
 	if err := s.f.Sync(); err != nil {
+		s.degrade("seal fsync: " + err.Error())
 		return fmt.Errorf("store: sync sealed segment: %w", err)
 	}
 	next := s.activeIndex + 1
@@ -318,6 +399,20 @@ func (s *File) rotateLocked() error {
 		return fmt.Errorf("store: close sealed segment: %w", closeErr)
 	}
 	return nil
+}
+
+// degrade flips the WAL read-only with reason; the first failure wins.
+func (s *File) degrade(reason string) {
+	r := reason
+	s.degraded.CompareAndSwap(nil, &r)
+}
+
+// Degraded reports whether the WAL has flipped read-only, and why.
+func (s *File) Degraded() (string, bool) {
+	if r := s.degraded.Load(); r != nil {
+		return *r, true
+	}
+	return "", false
 }
 
 // Seq returns the last assigned sequence number.
@@ -451,6 +546,12 @@ func (s *File) Compact(snap *Snapshot) error {
 	if s.closed {
 		return errors.New("store: compact closed store")
 	}
+	if r := s.degraded.Load(); r != nil {
+		// Compaction deletes sealed segments; on a degraded WAL those
+		// segments are the only trustworthy copy of the log, so the store
+		// is strictly read-only.
+		return fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
 	// Flush the open group-commit batch first so its appenders are not
 	// left waiting out the compaction's file writes.
 	s.commitPendingLocked()
@@ -542,7 +643,7 @@ func syncDir(dir string) {
 func (s *File) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		WALBytes:       s.walBytes,
 		WALEvents:      s.walEvents,
 		Seq:            s.seq,
@@ -554,6 +655,10 @@ func (s *File) Metrics() Metrics {
 		LastCompaction: s.lastComp,
 		SnapshotBytes:  s.snapBytes,
 	}
+	if r := s.degraded.Load(); r != nil {
+		m.Degraded, m.DegradedReason = true, *r
+	}
+	return m
 }
 
 // Close flushes any open batch, stops the committer, fsyncs, and closes

@@ -170,6 +170,11 @@ type Metrics struct {
 	Snapshots      uint64    `json:"snapshots"`       // compactions taken (this process)
 	LastCompaction time.Time `json:"last_compaction"` // zero if never compacted
 	SnapshotBytes  int64     `json:"snapshot_bytes"`  // size of the last snapshot
+	// Degraded reports a WAL that hit an unrecoverable write/fsync failure
+	// and flipped read-only (see ErrDegraded); DegradedReason is the first
+	// failure that tripped it.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Store is the durable session log. Implementations are safe for
